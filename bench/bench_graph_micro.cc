@@ -1,0 +1,133 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// graph algorithms (Stoer-Wagner min cut, Brandes edge betweenness,
+// connected components), text kernels and transformer inference.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/betweenness.h"
+#include "graph/graph.h"
+#include "graph/min_cut.h"
+#include "nn/transformer.h"
+#include "text/similarity.h"
+#include "text/vocab.h"
+
+namespace gralmatch {
+namespace {
+
+/// Random connected graph: spanning tree plus 2n extra edges.
+Graph MakeRandomGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (size_t v = 1; v < n; ++v) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(v)), static_cast<NodeId>(v))
+        .ValueOrDie();
+  }
+  for (size_t k = 0; k < 2 * n; ++k) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a != b) (void)g.AddEdge(a, b).ValueOrDie();
+  }
+  return g;
+}
+
+void BM_StoerWagnerMinCut(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = MakeRandomGraph(n, 1);
+  auto comp = g.ComponentOf(0);
+  for (auto _ : state) {
+    auto cut = StoerWagnerMinCut(g, comp);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StoerWagnerMinCut)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_EdgeBetweenness(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = MakeRandomGraph(n, 2);
+  auto comp = g.ComponentOf(0);
+  for (auto _ : state) {
+    auto bc = EdgeBetweenness(g, comp);
+    benchmark::DoNotOptimize(bc);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EdgeBetweenness)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = MakeRandomGraph(n, 3);
+  for (auto _ : state) {
+    auto comps = g.ConnectedComponents();
+    benchmark::DoNotOptimize(comps);
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(1000)->Arg(10000);
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "crowdstrike holdings incorporated";
+  std::string b = "crowd strike platforms international";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "crowdstrike holdings incorporated";
+  std::string b = "crowd strike platforms international";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinkler(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_VocabEncode(benchmark::State& state) {
+  SubwordVocab vocab;
+  vocab.Train({"crowdstrike holdings provides security solutions",
+               "quantum energy resources limited zurich",
+               "data pipeline analytics incorporated"},
+              1000);
+  std::string text =
+      "Quantum CrowdStrike Data Pipeline unseenword123 Zurich Analytics";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vocab.EncodeText(text));
+  }
+}
+BENCHMARK(BM_VocabEncode);
+
+void BM_TransformerPredict(benchmark::State& state) {
+  TransformerConfig config;
+  config.vocab_size = 6000;
+  config.max_seq_len = static_cast<size_t>(state.range(0));
+  TransformerClassifier model(config);
+  Rng rng(4);
+  std::vector<int32_t> tokens(config.max_seq_len);
+  for (auto& t : tokens) t = static_cast<int32_t>(rng.Uniform(6000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(tokens));
+  }
+}
+BENCHMARK(BM_TransformerPredict)->Arg(48)->Arg(96);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+  TransformerConfig config;
+  config.vocab_size = 6000;
+  config.max_seq_len = 48;
+  TransformerClassifier model(config);
+  Rng rng(5);
+  std::vector<int32_t> tokens(config.max_seq_len);
+  for (auto& t : tokens) t = static_cast<int32_t>(rng.Uniform(6000));
+  int label = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ForwardBackward(tokens, label));
+    label ^= 1;
+  }
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+}  // namespace
+}  // namespace gralmatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Regenerates the §5.2 feasibility argument: a LlaMa2-class LLM at ~7 s per
+// candidate pair cannot run the pairwise matching step at dataset scale
+// (90+ days on the paper's 1.14M synthetic-companies candidates), while the
+// small fine-tuned transformer evaluates the same step in minutes. Measures
+// the actual throughput of this repo's transformer matcher and projects
+// both to the paper-scale candidate counts.
+//
+// Usage: bench_llm_feasibility [--scale P] [--seed S]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "eval/report.h"
+#include "matching/baselines.h"
+
+namespace gralmatch {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  std::printf("=== LLM feasibility (paper §5.2): pairwise step wall-clock "
+              "projections ===\n\n");
+
+  // Measure the small transformer's per-pair latency on real records.
+  FinancialBenchmark synthetic = MakeSynthetic(config);
+  TransformerMatcherConfig mconfig =
+      MakeVariantConfig(ModelVariant::kDistilBert128All, config.seed,
+                        config.short_seq, config.long_seq);
+  TransformerMatcher matcher(mconfig);
+  matcher.BuildVocab(synthetic.companies.records);
+
+  const size_t probe_pairs = 2000;
+  Stopwatch watch;
+  size_t scored = 0;
+  for (size_t i = 0; i + 1 < synthetic.companies.records.size() && scored < probe_pairs;
+       i += 2, ++scored) {
+    matcher.MatchProbability(
+        synthetic.companies.records.at(static_cast<RecordId>(i)),
+        synthetic.companies.records.at(static_cast<RecordId>(i + 1)));
+  }
+  double transformer_sec_per_pair = watch.ElapsedSeconds() / double(scored);
+
+  SlowLlmMatcher llm(std::make_unique<HeuristicIdMatcher>(),
+                     /*seconds_per_pair=*/7.0);
+
+  struct Workload {
+    const char* label;
+    uint64_t pairs;
+  };
+  const Workload workloads[] = {
+      {"Real Companies (51K pairs)", 51000},
+      {"Real Securities (41K pairs)", 41000},
+      {"Synthetic Securities (826K pairs)", 826000},
+      {"Synthetic Companies (1.14M pairs)", 1140000},
+  };
+
+  TableReport table({"Workload", "LLM @7s/pair", "Transformer (measured)",
+                     "Speedup"});
+  for (const Workload& w : workloads) {
+    double llm_seconds = llm.ProjectedSeconds(w.pairs);
+    double tf_seconds = transformer_sec_per_pair * double(w.pairs);
+    table.AddRow({w.label,
+                  StrFormat("%.1f days", llm_seconds / 86400.0),
+                  Stopwatch::FormatSeconds(tf_seconds),
+                  StrFormat("%.0fx", llm_seconds / tf_seconds)});
+  }
+  table.Print();
+
+  std::printf("\nMeasured transformer latency: %.2f ms/pair (single core). "
+              "Paper conclusion reproduced: the LLM needs 90+ days for the "
+              "synthetic companies pairwise step and is ruled out.\n",
+              transformer_sec_per_pair * 1e3);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gralmatch
+
+int main(int argc, char** argv) { return gralmatch::bench::Main(argc, argv); }

@@ -1,0 +1,99 @@
+// Regenerates Table 1 of the paper: general statistics of the real
+// (simulated; see DESIGN.md) and synthetic companies & securities datasets.
+//
+// Usage: bench_table1_dataset_stats [--scale P] [--seed S]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "eval/report.h"
+
+namespace gralmatch {
+namespace bench {
+namespace {
+
+struct DatasetStats {
+  size_t sources = 0;
+  size_t entities = 0;
+  size_t records = 0;
+  uint64_t matches = 0;
+  double matches_per_entity = 0.0;
+  double desc_fraction = 0.0;
+};
+
+DatasetStats ComputeStats(const Dataset& data) {
+  DatasetStats stats;
+  stats.sources = data.records.NumSources();
+  stats.entities = data.truth.NumEntities();
+  stats.records = data.records.size();
+  stats.matches = data.truth.NumTrueMatches();
+  stats.matches_per_entity =
+      stats.entities == 0
+          ? 0.0
+          : static_cast<double>(stats.matches) / static_cast<double>(stats.entities);
+  size_t with_desc = 0;
+  for (const auto& rec : data.records.records()) {
+    with_desc += rec.Has("short_description");
+  }
+  stats.desc_fraction = stats.records == 0
+                            ? 0.0
+                            : static_cast<double>(with_desc) /
+                                  static_cast<double>(stats.records);
+  return stats;
+}
+
+std::string Count(size_t v) { return WithThousandsSep(static_cast<long long>(v)); }
+
+int Main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  std::printf("=== Table 1: dataset statistics (scale %.0f%%, seed %llu) ===\n",
+              config.scale, static_cast<unsigned long long>(config.seed));
+  std::printf(
+      "Paper reference (at 200K groups): synthetic companies 868K records / "
+      "1.5M matches / 7.5 matches-per-entity / 32%% descriptions;\n"
+      "synthetic securities ~984K records / ~1.5M matches / ~5.4 per entity. "
+      "This run is a %.0f%%-scale regeneration; ratios are the comparison "
+      "target, absolute counts scale with --scale.\n\n",
+      config.scale);
+
+  FinancialBenchmark realistic = MakeRealistic(config);
+  FinancialBenchmark synthetic = MakeSynthetic(config);
+
+  struct Row {
+    const char* label;
+    const Dataset* data;
+  };
+  const Row rows[] = {
+      {"Real Companies (sim)", &realistic.companies},
+      {"Synthetic Companies", &synthetic.companies},
+      {"Real Securities (sim)", &realistic.securities},
+      {"Synthetic Securities", &synthetic.securities},
+  };
+
+  TableReport table({"Dataset", "# Sources", "# Entities", "# Records",
+                     "# Matches", "Avg Matches/Entity", "% w/ Descriptions"});
+  for (const Row& row : rows) {
+    DatasetStats stats = ComputeStats(*row.data);
+    table.AddRow({row.label, Count(stats.sources), Count(stats.entities),
+                  Count(stats.records), Count(stats.matches),
+                  StrFormat("%.2f", stats.matches_per_entity),
+                  row.data->has_issuers()
+                      ? "-"
+                      : StrFormat("%.0f%%", stats.desc_fraction * 100.0)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks vs paper Table 1:\n"
+      "  companies records/entity ratio ~4.3, matches/entity ~7.5;\n"
+      "  securities matches/entity below companies' (smaller groups);\n"
+      "  ~1/3 of company records carry a text description.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gralmatch
+
+int main(int argc, char** argv) { return gralmatch::bench::Main(argc, argv); }

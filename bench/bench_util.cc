@@ -1,0 +1,314 @@
+#include "bench_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+#include "blocking/id_overlap.h"
+#include "blocking/issuer_match.h"
+#include "blocking/token_overlap.h"
+#include "common/strings.h"
+#include "common/union_find.h"
+
+namespace gralmatch {
+namespace bench {
+
+namespace {
+
+std::string Slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+size_t Scaled(size_t base, const BenchConfig& config) {
+  size_t scaled = static_cast<size_t>(base * config.scale / 100.0);
+  return scaled < 20 ? 20 : scaled;
+}
+
+}  // namespace
+
+BenchConfig ParseBenchConfig(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale", config.scale);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.epochs = static_cast<size_t>(flags.GetInt("epochs", 3));
+  config.model_dir = flags.GetString("model_dir", config.model_dir);
+  config.retrain = flags.Has("retrain");
+  config.short_seq = static_cast<size_t>(
+      flags.GetInt("short_seq", static_cast<int64_t>(config.short_seq)));
+  config.long_seq = static_cast<size_t>(
+      flags.GetInt("long_seq", static_cast<int64_t>(config.long_seq)));
+  return config;
+}
+
+size_t ScaledSyntheticGroups(const BenchConfig& config) {
+  return Scaled(1200, config);
+}
+size_t ScaledRealisticGroups(const BenchConfig& config) {
+  return Scaled(300, config);
+}
+size_t ScaledWdcEntities(const BenchConfig& config) {
+  return Scaled(600, config);
+}
+
+FinancialBenchmark MakeSynthetic(const BenchConfig& config) {
+  SyntheticConfig gen_config;
+  gen_config.seed = config.seed;
+  gen_config.num_groups = ScaledSyntheticGroups(config);
+  return FinancialGenerator(gen_config).Generate();
+}
+
+FinancialBenchmark MakeRealistic(const BenchConfig& config) {
+  SyntheticConfig gen_config =
+      RealisticSubsetConfig(config.seed ^ 0xBEEF, ScaledRealisticGroups(config));
+  return FinancialGenerator(gen_config).Generate();
+}
+
+Dataset MakeWdc(const BenchConfig& config) {
+  WdcConfig gen_config;
+  gen_config.seed = config.seed ^ 0xF00D;
+  gen_config.num_entities = ScaledWdcEntities(config);
+  return WdcProductsGenerator(gen_config).Generate();
+}
+
+std::vector<MatchTask> MakeTasks(const BenchConfig& config,
+                                 FinancialBenchmark* realistic,
+                                 FinancialBenchmark* synthetic, Dataset* wdc) {
+  std::vector<MatchTask> tasks;
+  Rng split_rng(config.seed ^ 0x5B17);
+
+  auto add = [&](const std::string& name, const Dataset* data,
+                 bool is_securities, bool is_wdc) {
+    MatchTask task;
+    task.name = name;
+    task.data = data;
+    Rng rng = split_rng.Fork();
+    task.split = SplitByGroups(data->truth, &rng);
+    task.is_securities = is_securities;
+    task.is_wdc = is_wdc;
+    tasks.push_back(std::move(task));
+  };
+
+  add("Real Companies", &realistic->companies, false, false);
+  add("Synthetic Companies", &synthetic->companies, false, false);
+  add("Real Securities", &realistic->securities, true, false);
+  add("Synthetic Securities", &synthetic->securities, true, false);
+  add("WDC Products", wdc, false, true);
+  return tasks;
+}
+
+TaskPairs MakePairs(const MatchTask& task, const BenchConfig& config,
+                    bool reduced_training) {
+  TaskPairs out;
+  PairSamplingOptions opts;
+  opts.seed = config.seed ^ 0x9A1B5;
+
+  opts.max_positives = reduced_training ? 0 : config.max_train_positives;
+  out.train = SamplePairs(*task.data, task.split, SplitPart::kTrain, opts);
+  opts.max_positives = config.max_val_positives;
+  out.val = SamplePairs(*task.data, task.split, SplitPart::kValidation, opts);
+  opts.max_positives = config.max_test_positives;
+  out.test = SamplePairs(*task.data, task.split, SplitPart::kTest, opts);
+
+  if (reduced_training) {
+    // The "-15K" protocol (§5.2.1): keep only easily-labelled pairs, capped.
+    Rng rng(config.seed ^ 0x15AB);
+    auto filtered = FilterEasyPairs(*task.data, out.train, 0);
+    rng.Shuffle(&filtered);
+    if (filtered.size() > config.reduced_train_pairs) {
+      filtered.resize(config.reduced_train_pairs);
+    }
+    out.train = std::move(filtered);
+    auto val_filtered = FilterEasyPairs(*task.data, out.val, 0);
+    rng.Shuffle(&val_filtered);
+    if (val_filtered.size() > config.reduced_train_pairs / 2) {
+      val_filtered.resize(config.reduced_train_pairs / 2);
+    }
+    out.val = std::move(val_filtered);
+  }
+  return out;
+}
+
+RecordTable CopySplitRecords(const Dataset& data, const GroupSplit& split,
+                             SplitPart part) {
+  RecordTable out;
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    if (split.part(static_cast<RecordId>(i)) == part) {
+      out.Add(data.records.at(static_cast<RecordId>(i)));
+    }
+  }
+  return out;
+}
+
+std::vector<ModelVariant> VariantsForTask(const MatchTask& task) {
+  if (task.is_wdc) {
+    return {ModelVariant::kDitto128, ModelVariant::kDitto256,
+            ModelVariant::kDistilBert128All};
+  }
+  if (task.name.rfind("Synthetic", 0) == 0) {
+    return AllModelVariants();
+  }
+  return {ModelVariant::kDitto128, ModelVariant::kDitto256,
+          ModelVariant::kDistilBert128All};
+}
+
+TrainedModel GetModel(const MatchTask& task, ModelVariant variant,
+                      const BenchConfig& config) {
+  TrainedModel out;
+  TransformerMatcherConfig mconfig = MakeVariantConfig(
+      variant, config.seed ^ 0x7777, config.short_seq, config.long_seq);
+  mconfig.trainer.epochs = config.epochs;
+  mconfig.trainer.lr = 1.5e-3f;
+  mconfig.trainer.shuffle_seed = config.seed ^ 0xD00D;
+
+  std::string dir = config.model_dir + "/" + Slug(task.name) + "/" +
+                    Slug(VariantDisplayName(variant));
+
+  if (!config.retrain) {
+    auto cached = std::make_unique<TransformerMatcher>(mconfig);
+    if (cached->Load(dir).ok()) {
+      out.matcher = std::move(cached);
+      out.from_cache = true;
+      // Restore the recorded training time for table display.
+      std::ifstream meta(dir + "/train_meta.txt");
+      if (meta) {
+        meta >> out.train_result.train_seconds >> out.train_result.best_epoch;
+      }
+      return out;
+    }
+  }
+
+  out.matcher = std::make_unique<TransformerMatcher>(mconfig);
+  RecordTable train_records =
+      CopySplitRecords(*task.data, task.split, SplitPart::kTrain);
+  out.matcher->BuildVocab(train_records);
+
+  TaskPairs pairs =
+      MakePairs(task, config, VariantUsesReducedTraining(variant));
+  out.train_result =
+      out.matcher->FineTune(task.data->records, pairs.train, pairs.val);
+
+  Status saved = out.matcher->Save(dir);
+  if (saved.ok()) {
+    std::ofstream meta(dir + "/train_meta.txt");
+    meta << out.train_result.train_seconds << " "
+         << out.train_result.best_epoch << "\n";
+  } else {
+    std::fprintf(stderr, "warning: could not cache model: %s\n",
+                 saved.ToString().c_str());
+  }
+  return out;
+}
+
+namespace {
+
+/// Heuristic company grouping over the full companies table: connected
+/// components of the ID-overlap candidate graph. This stands in for the
+/// "previous matching" of the issuers that the Issuer Match blocking
+/// requires (§5.3.1).
+std::vector<int64_t> HeuristicCompanyGroups(const Dataset& companies,
+                                            const RecordTable& securities) {
+  CandidateSet candidates;
+  IdOverlapBlocker blocker(&securities);
+  blocker.AddCandidates(companies, &candidates);
+  UnionFind uf(companies.records.size());
+  for (const auto& cand : candidates.ToVector()) {
+    uf.Union(static_cast<size_t>(cand.pair.a), static_cast<size_t>(cand.pair.b));
+  }
+  std::vector<int64_t> groups(companies.records.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    groups[i] = static_cast<int64_t>(uf.Find(i));
+  }
+  return groups;
+}
+
+}  // namespace
+
+ExperimentView MakeView(const MatchTask& task,
+                        const FinancialBenchmark* fin_benchmark,
+                        const BenchConfig& config) {
+  (void)config;
+  ExperimentView view;
+  const bool is_real = task.name.rfind("Real", 0) == 0;
+  view.gamma = is_real ? 40 : 25;
+  view.mu = is_real ? 8 : 5;
+
+  // Test-split sub-dataset with remapped record ids.
+  std::unordered_map<RecordId, RecordId> new_id;
+  view.sub.name = task.name + " (test split)";
+  for (size_t i = 0; i < task.data->records.size(); ++i) {
+    if (task.split.part(static_cast<RecordId>(i)) != SplitPart::kTest) continue;
+    RecordId id = view.sub.records.Add(task.data->records.at(static_cast<RecordId>(i)));
+    view.sub.truth.Assign(id, task.data->truth.entity_of(static_cast<RecordId>(i)));
+    new_id[static_cast<RecordId>(i)] = id;
+  }
+
+  if (task.is_wdc) {
+    view.blockings = "Token Overlap";
+    // Product titles share brand/family tokens across many offers, so the
+    // document-frequency cap must be looser than for company names.
+    TokenOverlapBlocker::Options topts;
+    topts.top_n = 10;
+    topts.min_overlap = 2;
+    topts.max_token_df = 0.30;
+    TokenOverlapBlocker token_blocker(topts);
+    token_blocker.AddCandidates(view.sub, &view.candidates);
+    return view;
+  }
+
+  if (!task.is_securities) {
+    // Companies: ID Overlap (joined through issued securities) + Token
+    // Overlap; Pre-Cleanup active (paper §4.2.1).
+    view.blockings = "ID Overlap, Token Overlap";
+    view.pre_cleanup_threshold = 50;
+    for (size_t i = 0; i < fin_benchmark->securities.records.size(); ++i) {
+      const Record& sec =
+          fin_benchmark->securities.records.at(static_cast<RecordId>(i));
+      std::string_view issuer = sec.Get("issuer_ref");
+      if (issuer.empty()) continue;
+      RecordId orig =
+          static_cast<RecordId>(std::atoi(std::string(issuer).c_str()));
+      auto it = new_id.find(orig);
+      if (it == new_id.end()) continue;
+      Record copy = sec;
+      copy.Set("issuer_ref", std::to_string(it->second));
+      view.sub_securities.Add(std::move(copy));
+    }
+    IdOverlapBlocker id_blocker(&view.sub_securities);
+    id_blocker.AddCandidates(view.sub, &view.candidates);
+    // top-n tuned to the paper's candidate density (~6.5 pairs per record
+    // on synthetic companies, Table 2).
+    TokenOverlapBlocker::Options topts;
+    topts.top_n = 8;
+    topts.min_overlap = 2;
+    topts.max_token_df = 0.08;
+    TokenOverlapBlocker token_blocker(topts);
+    token_blocker.AddCandidates(view.sub, &view.candidates);
+    return view;
+  }
+
+  // Securities: ID Overlap + Issuer Match.
+  view.blockings = "ID Overlap, Issuer Match";
+  IdOverlapBlocker id_blocker;
+  id_blocker.AddCandidates(view.sub, &view.candidates);
+  view.company_group_full = HeuristicCompanyGroups(
+      fin_benchmark->companies, fin_benchmark->securities.records);
+  IssuerMatchBlocker issuer_blocker(&view.company_group_full);
+  issuer_blocker.AddCandidates(view.sub, &view.candidates);
+  return view;
+}
+
+}  // namespace bench
+}  // namespace gralmatch

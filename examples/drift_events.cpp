@@ -1,0 +1,151 @@
+// Recreates the narrative of Figures 2-4 of the paper on a hand-built
+// miniature: the "Crowdstrike" record group spread over four data sources
+// with naming variations, the "Crowdstreet" near-collision, an acquisition
+// whose identifier overwrites make one group only transitively matchable,
+// and the false positive pairwise edge that glues two groups together
+// until GraLMatch removes it.
+//
+//   ./examples/drift_events
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "graph/betweenness.h"
+#include "matching/matcher.h"
+
+using namespace gralmatch;
+
+namespace {
+
+void PrintRecords(const Dataset& ds) {
+  std::printf("%-4s %-8s %-30s %-14s %s\n", "#", "source", "name", "isin",
+              "entity");
+  for (size_t i = 0; i < ds.records.size(); ++i) {
+    const Record& rec = ds.records.at(static_cast<RecordId>(i));
+    std::printf("%-4zu %-8d %-30s %-14s %d\n", i, rec.source(),
+                std::string(rec.Get("name")).c_str(),
+                std::string(rec.Get("isin")).c_str(),
+                ds.truth.entity_of(static_cast<RecordId>(i)));
+  }
+}
+
+/// The paper's Figure 2/4 matcher behaviour in miniature: matches identical
+/// ISINs and obvious name alignments, plus one deliberate false positive
+/// between Crowdstrike and Crowdstreet records.
+class FigureMatcher : public PairwiseMatcher {
+ public:
+  std::string name() const override { return "figure-matcher"; }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    if (!a.Get("isin").empty() && a.Get("isin") == b.Get("isin")) return 0.95;
+    std::string_view na = a.Get("name"), nb = b.Get("name");
+    if (na == nb) return 0.9;  // exact name alignment (Herotel vs Herotel)
+    // Text alignment: "Crowdstrike"-family names match each other...
+    bool strike_a = na.find("strike") != std::string_view::npos ||
+                    na.find("Strike") != std::string_view::npos;
+    bool strike_b = nb.find("strike") != std::string_view::npos ||
+                    nb.find("Strike") != std::string_view::npos;
+    if (strike_a && strike_b) return 0.9;
+    // ...and the long shared character sequences of "Crowdstreet" produce
+    // the false positive of Figure 4.
+    bool street_a = na.find("street") != std::string_view::npos;
+    bool street_b = nb.find("street") != std::string_view::npos;
+    if ((strike_a && street_b) || (street_a && strike_b)) {
+      return (na.find("Crowd Strike") != std::string_view::npos ||
+              nb.find("Crowd Strike") != std::string_view::npos)
+                 ? 0.7   // one false positive pair slips through
+                 : 0.2;
+    }
+    if (street_a && street_b) return 0.9;
+    return 0.05;
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Four sources, three entities: Crowdstrike (0), Crowdstreet (1), and the
+  // acquired "Herotel" whose records were partially overwritten by acquirer
+  // "Hearst" (2; all its records are matches per §3.2).
+  Dataset ds;
+  auto add = [&](SourceId src, const char* name, const char* isin, EntityId e) {
+    Record rec(src, RecordKind::kCompany);
+    rec.Set("name", name);
+    if (isin && *isin) rec.Set("isin", isin);
+    RecordId id = ds.records.Add(std::move(rec));
+    ds.truth.Assign(id, e);
+    return id;
+  };
+
+  // Crowdstrike group: four naming variations (Figure 2).
+  add(0, "Crowdstrike Plt.", "US31807756E", 0);
+  add(1, "Crowd Strike Platforms", "US318077DSIE", 0);
+  add(2, "Crowdstrike Holdings", "US31807756E", 0);
+  add(3, "CrowdStrike", "US318077DSIE", 0);
+  // Crowdstreet group: the near-collision.
+  add(0, "Crowdstreet Inc", "US9022617", 1);
+  add(1, "Crowdstreet", "US9022617", 1);
+  add(2, "Crowd street Properties", "", 1);
+  // Herotel/Hearst acquisition: record 8's identifiers were overwritten
+  // with Hearst's (Figure 3); records 7 and 9/10 share nothing directly.
+  add(0, "Herotel", "ZA55511111", 2);
+  add(1, "Herotel", "US4444HRST", 2);  // overwritten identifiers
+  add(2, "Hearst", "US4444HRST", 2);
+  add(3, "Hearst Corporation", "US4444HRST", 2);
+
+  std::printf("=== Figure 2: the records ===\n");
+  PrintRecords(ds);
+
+  // All cross-source pairs are candidates in this miniature.
+  std::vector<Candidate> candidates;
+  for (RecordId a = 0; a < static_cast<RecordId>(ds.records.size()); ++a) {
+    for (RecordId b = a + 1; b < static_cast<RecordId>(ds.records.size()); ++b) {
+      if (ds.records.at(a).source() == ds.records.at(b).source()) continue;
+      candidates.push_back({RecordPair(a, b), kBlockerTokenOverlap});
+    }
+  }
+
+  FigureMatcher matcher;
+  PipelineConfig config;
+  config.cleanup.gamma = 8;
+  config.cleanup.mu = 4;  // four data sources
+  EntityGroupPipeline pipeline(config);
+  PipelineResult result = pipeline.Run(ds, candidates, matcher);
+
+  std::printf("\n=== Figure 3: transitive matches ===\n");
+  std::printf("Pairwise predictions: %zu edges.\n", result.predicted_pairs.size());
+  bool herotel_direct = false;
+  for (const auto& pair : result.predicted_pairs) {
+    if (pair == RecordPair(7, 9) || pair == RecordPair(7, 10)) {
+      herotel_direct = true;
+    }
+  }
+  std::printf("Herotel #7 vs Hearst #9/#10 predicted directly: %s\n",
+              herotel_direct ? "yes" : "no (only transitively via #8!)");
+
+  std::printf("\n=== Figure 4: pre vs post cleanup ===\n");
+  PrfMetrics pre = GroupPrf(result.pre_cleanup_components, ds.truth);
+  std::printf("Pre-cleanup: %zu component(s), largest %zu, precision %.0f%%\n",
+              result.pre_cleanup_components.size(),
+              LargestComponent(result.pre_cleanup_components),
+              100 * pre.Precision());
+
+  PrfMetrics post = GroupPrf(result.groups, ds.truth);
+  std::printf("Post-cleanup groups:\n");
+  for (const auto& group : result.groups) {
+    std::printf("  {");
+    for (size_t i = 0; i < group.size(); ++i) {
+      std::printf("%s#%d", i ? ", " : "", group[i]);
+    }
+    std::printf("}\n");
+  }
+  std::printf("Post-cleanup precision %.0f%%, recall %.0f%%, purity %.2f\n",
+              100 * post.Precision(), 100 * post.Recall(),
+              ClusterPurity(result.groups, ds.truth));
+  std::printf("\nThe false Crowdstrike-Crowdstreet edge was removed by the "
+              "GraLMatch Graph Cleanup; the Herotel group was recovered "
+              "through its transitive path only.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// WDC-Products-style matching (§5.1.4): heterogeneous group sizes and 80%
+// corner cases. Demonstrates the paper's finding that Algorithm 1's
+// mu = #sources assumption over-splits large product groups — and shows a
+// simple remedy (raising mu) that trades precision back for recall.
+//
+//   ./examples/wdc_products [--entities N] [--seed S]
+
+#include <cstdio>
+
+#include "blocking/token_overlap.h"
+#include "common/cli.h"
+#include "core/embeddedness.h"
+#include "core/label_propagation.h"
+#include "core/pipeline.h"
+#include "datagen/wdc_gen.h"
+#include "eval/metrics.h"
+#include "matching/baselines.h"
+#include "matching/pair_sampling.h"
+
+using namespace gralmatch;
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  WdcConfig gen_config;
+  gen_config.num_entities = static_cast<size_t>(flags.GetInt("entities", 400));
+  gen_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  Dataset products = WdcProductsGenerator(gen_config).Generate();
+
+  // Group-size histogram: the heterogeneity that breaks a fixed mu.
+  std::printf("Generated %zu offers of %zu products.\n", products.records.size(),
+              products.truth.NumEntities());
+  size_t histogram[13] = {0};
+  for (const auto& [e, members] : products.truth.Groups()) {
+    ++histogram[members.size() < 12 ? members.size() : 12];
+  }
+  std::printf("Group sizes: ");
+  for (size_t s = 1; s < 13; ++s) {
+    if (histogram[s]) std::printf("%zux%zu ", histogram[s], s);
+  }
+  std::printf("\n\n");
+
+  // Token Overlap blocking + classical matcher.
+  TokenOverlapBlocker::Options topts;
+  topts.top_n = 10;
+  topts.max_token_df = 0.30;
+  TokenOverlapBlocker blocker(topts);
+  CandidateSet candidates;
+  blocker.AddCandidates(products, &candidates);
+
+  Rng rng(5);
+  GroupSplit split = SplitByGroups(products.truth, &rng);
+  PairSamplingOptions opts;
+  auto train = SamplePairs(products, split, SplitPart::kTrain, opts);
+  TfidfLogRegMatcher matcher;
+  matcher.Train(products.records, train);
+
+  std::printf("%zu candidate pairs, matcher trained on %zu pairs.\n\n",
+              candidates.size(), train.size());
+
+  // Sweep mu: the paper's finding is that mu = #sources over-splits.
+  std::printf("%-10s %-10s %-10s %-10s %s\n", "mu", "Post-P", "Post-R",
+              "Post-F1", "Purity");
+  for (size_t mu : {3ul, 5ul, 8ul, 12ul, 20ul}) {
+    PipelineConfig config;
+    config.cleanup.gamma = 25;
+    config.cleanup.mu = mu;
+    EntityGroupPipeline pipeline(config);
+    PipelineResult result =
+        pipeline.Run(products, candidates.ToVector(), matcher);
+    PrfMetrics post = GroupPrf(result.groups, products.truth);
+    std::printf("%-10zu %-10.1f %-10.1f %-10.1f %.2f\n", mu,
+                100 * post.Precision(), 100 * post.Recall(), 100 * post.F1(),
+                ClusterPurity(result.groups, products.truth));
+  }
+  std::printf(
+      "\nSmall mu chops the large product groups (recall loss, the paper's "
+      "WDC observation); larger mu lets heterogeneous group sizes survive.\n");
+
+  // The paper's suggested future work: a cleanup that does not assume a
+  // fixed group size. Label propagation converges per-community, so large
+  // true groups survive while weakly-linked glued groups split.
+  {
+    Graph graph(products.records.size());
+    EntityGroupPipeline scorer;
+    PipelineResult scored = scorer.Run(products, candidates.ToVector(), matcher);
+    for (const auto& pair : scored.predicted_pairs) {
+      (void)graph.AddEdge(pair.a, pair.b);
+    }
+    auto lp_groups = LabelPropagationGroups(graph);
+    PrfMetrics lp = GroupPrf(lp_groups, products.truth);
+    std::printf("\nLabel propagation cleanup (size-agnostic):  P=%.1f R=%.1f "
+                "F1=%.1f purity=%.2f\n",
+                100 * lp.Precision(), 100 * lp.Recall(), 100 * lp.F1(),
+                ClusterPurity(lp_groups, products.truth));
+
+    auto emb_groups = EmbeddednessGroups(&graph);
+    PrfMetrics emb = GroupPrf(emb_groups, products.truth);
+    std::printf("Embeddedness cleanup (size-agnostic):       P=%.1f R=%.1f "
+                "F1=%.1f purity=%.2f\n",
+                100 * emb.Precision(), 100 * emb.Recall(), 100 * emb.F1(),
+                ClusterPurity(emb_groups, products.truth));
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "blocking/blocker.h"
+
+#include <algorithm>
+
+namespace gralmatch {
+
+void CandidateSet::Add(RecordPair pair, BlockerKind kind) {
+  pairs_[pair] |= static_cast<uint32_t>(kind);
+}
+
+void CandidateSet::Merge(const CandidateSet& other) {
+  for (const auto& [pair, prov] : other.pairs_) pairs_[pair] |= prov;
+}
+
+std::vector<Candidate> CandidateSet::ToVector() const {
+  std::vector<Candidate> out;
+  out.reserve(pairs_.size());
+  for (const auto& [pair, prov] : pairs_) out.push_back({pair, prov});
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.pair < b.pair;
+  });
+  return out;
+}
+
+uint32_t CandidateSet::ProvenanceOf(const RecordPair& pair) const {
+  auto it = pairs_.find(pair);
+  return it == pairs_.end() ? 0 : it->second;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,73 @@
+#ifndef GRALMATCH_BLOCKING_BLOCKER_H_
+#define GRALMATCH_BLOCKING_BLOCKER_H_
+
+/// \file blocker.h
+/// Blocking interfaces (§5.3.1): blockers turn a dataset into a set of
+/// candidate record pairs, tagged with which blocking produced them — the
+/// Pre-Cleanup step of GraLMatch needs to know which predicted matches came
+/// from the Token Overlap blocking.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace gralmatch {
+
+/// Provenance bits for candidate pairs.
+enum BlockerKind : uint32_t {
+  kBlockerIdOverlap = 1u << 0,
+  kBlockerTokenOverlap = 1u << 1,
+  kBlockerIssuerMatch = 1u << 2,
+};
+
+/// A candidate pair with the set of blockings that produced it.
+struct Candidate {
+  RecordPair pair;
+  uint32_t provenance = 0;
+};
+
+/// \brief Deduplicated set of candidate pairs with provenance union.
+class CandidateSet {
+ public:
+  /// Insert a pair (or add provenance to an existing one).
+  void Add(RecordPair pair, BlockerKind kind);
+
+  /// Merge another candidate set into this one.
+  void Merge(const CandidateSet& other);
+
+  size_t size() const { return pairs_.size(); }
+
+  /// Sorted snapshot (deterministic order).
+  std::vector<Candidate> ToVector() const;
+
+  /// Provenance bits of a pair (0 if absent).
+  uint32_t ProvenanceOf(const RecordPair& pair) const;
+
+ private:
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> pairs_;
+};
+
+/// \brief A blocking strategy.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  /// Short display name ("ID Overlap", ...).
+  virtual std::string name() const = 0;
+
+  /// Provenance bit contributed by this blocker.
+  virtual BlockerKind kind() const = 0;
+
+  /// Add this blocker's candidate pairs for `dataset` into `out`.
+  /// Only cross-source pairs are produced (records of the same data source
+  /// are never candidates, as in the paper's multi-source setting).
+  virtual void AddCandidates(const Dataset& dataset, CandidateSet* out) const = 0;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_BLOCKING_BLOCKER_H_

@@ -1,0 +1,86 @@
+#include "blocking/id_overlap.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace gralmatch {
+
+const std::vector<std::string>& IdentifierAttributes() {
+  static const std::vector<std::string> kAttrs = {"isin", "cusip", "sedol",
+                                                  "valor", "lei"};
+  return kAttrs;
+}
+
+namespace {
+
+/// Map identifier value -> records carrying it.
+std::unordered_map<std::string, std::vector<RecordId>> BuildIdIndex(
+    const RecordTable& table) {
+  std::unordered_map<std::string, std::vector<RecordId>> index;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Record& rec = table.at(static_cast<RecordId>(i));
+    for (const auto& attr : IdentifierAttributes()) {
+      for (const auto& value : rec.GetMulti(attr)) {
+        index[value].push_back(static_cast<RecordId>(i));
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+void IdOverlapBlocker::AddCandidates(const Dataset& dataset,
+                                     CandidateSet* out) const {
+  if (securities_ == nullptr) {
+    // Securities mode: direct identifier overlap.
+    auto index = BuildIdIndex(dataset.records);
+    for (const auto& [value, holders] : index) {
+      if (holders.size() < 2 || holders.size() > kMaxBucket) continue;
+      for (size_t i = 0; i < holders.size(); ++i) {
+        for (size_t j = i + 1; j < holders.size(); ++j) {
+          if (dataset.records.at(holders[i]).source() ==
+              dataset.records.at(holders[j]).source()) {
+            continue;
+          }
+          out->Add(RecordPair(holders[i], holders[j]), kind());
+        }
+      }
+    }
+    return;
+  }
+
+  // Companies mode: overlap through issued securities.
+  // identifier value -> issuing company records.
+  std::unordered_map<std::string, std::vector<RecordId>> index;
+  for (size_t i = 0; i < securities_->size(); ++i) {
+    const Record& sec = securities_->at(static_cast<RecordId>(i));
+    std::string_view issuer = sec.Get("issuer_ref");
+    if (issuer.empty()) continue;
+    RecordId company =
+        static_cast<RecordId>(std::atoi(std::string(issuer).c_str()));
+    if (company < 0 || static_cast<size_t>(company) >= dataset.records.size()) {
+      continue;
+    }
+    for (const auto& attr : IdentifierAttributes()) {
+      for (const auto& value : sec.GetMulti(attr)) {
+        index[value].push_back(company);
+      }
+    }
+  }
+  for (const auto& [value, issuers] : index) {
+    if (issuers.size() < 2 || issuers.size() > kMaxBucket) continue;
+    for (size_t i = 0; i < issuers.size(); ++i) {
+      for (size_t j = i + 1; j < issuers.size(); ++j) {
+        if (issuers[i] == issuers[j]) continue;
+        if (dataset.records.at(issuers[i]).source() ==
+            dataset.records.at(issuers[j]).source()) {
+          continue;
+        }
+        out->Add(RecordPair(issuers[i], issuers[j]), kind());
+      }
+    }
+  }
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,52 @@
+#ifndef GRALMATCH_BLOCKING_ID_OVERLAP_H_
+#define GRALMATCH_BLOCKING_ID_OVERLAP_H_
+
+/// \file id_overlap.h
+/// ID Overlap blocking (§5.3.1): candidate pairs based exclusively on
+/// overlapping identifier attribute values. For company records, the overlap
+/// is evaluated through the identifiers of the securities each company
+/// issues — the "benchmark heuristic" used in the financial industry.
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace gralmatch {
+
+/// Identifier attributes recognized on security records.
+const std::vector<std::string>& IdentifierAttributes();
+
+/// \brief ID Overlap blocker.
+///
+/// Securities mode (default construction): two security records become a
+/// candidate pair when they share any identifier value.
+///
+/// Companies mode (constructed with the securities table): two company
+/// records become a candidate pair when any securities they issue (linked
+/// by the securities' "issuer_ref" attribute) share an identifier value.
+class IdOverlapBlocker : public Blocker {
+ public:
+  /// Securities mode.
+  IdOverlapBlocker() = default;
+
+  /// Companies mode: `securities` must outlive the blocker; its records'
+  /// "issuer_ref" attributes index into the blocked (company) dataset.
+  explicit IdOverlapBlocker(const RecordTable* securities)
+      : securities_(securities) {}
+
+  std::string name() const override { return "ID Overlap"; }
+  BlockerKind kind() const override { return kBlockerIdOverlap; }
+  void AddCandidates(const Dataset& dataset, CandidateSet* out) const override;
+
+  /// Identifier values shared by more than this many records are skipped
+  /// (defensive bound against degenerate buckets).
+  static constexpr size_t kMaxBucket = 64;
+
+ private:
+  const RecordTable* securities_ = nullptr;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_BLOCKING_ID_OVERLAP_H_

@@ -1,0 +1,37 @@
+#include "blocking/issuer_match.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace gralmatch {
+
+void IssuerMatchBlocker::AddCandidates(const Dataset& dataset,
+                                       CandidateSet* out) const {
+  // group id -> security records issued by companies of that group.
+  std::unordered_map<int64_t, std::vector<RecordId>> by_group;
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    const Record& sec = dataset.records.at(static_cast<RecordId>(i));
+    std::string_view issuer = sec.Get("issuer_ref");
+    if (issuer.empty()) continue;
+    auto company = static_cast<size_t>(std::atoll(std::string(issuer).c_str()));
+    if (company >= company_group_of_->size()) continue;
+    int64_t group = (*company_group_of_)[company];
+    if (group < 0) continue;
+    by_group[group].push_back(static_cast<RecordId>(i));
+  }
+
+  for (const auto& [group, members] : by_group) {
+    if (members.size() < 2 || members.size() > kMaxGroup) continue;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (dataset.records.at(members[i]).source() ==
+            dataset.records.at(members[j]).source()) {
+          continue;
+        }
+        out->Add(RecordPair(members[i], members[j]), kind());
+      }
+    }
+  }
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,44 @@
+#ifndef GRALMATCH_BLOCKING_ISSUER_MATCH_H_
+#define GRALMATCH_BLOCKING_ISSUER_MATCH_H_
+
+/// \file issuer_match.h
+/// Issuer Match blocking (§5.3.1, securities only): pair each security
+/// record with the securities issued by companies previously matched to the
+/// security's issuer. This is how securities with non-matching identifiers
+/// and generic names ("Common Stock") become candidates at all.
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace gralmatch {
+
+/// \brief Issuer Match blocker.
+///
+/// Requires the output of a previous *company* matching: a group id per
+/// company record (records with the same group id were matched). Securities
+/// reference company records via their "issuer_ref" attribute.
+class IssuerMatchBlocker : public Blocker {
+ public:
+  /// `company_group_of` maps each company RecordId to a group id (< 0 for
+  /// ungrouped). Must outlive the blocker.
+  explicit IssuerMatchBlocker(const std::vector<int64_t>* company_group_of)
+      : company_group_of_(company_group_of) {}
+
+  std::string name() const override { return "Issuer Match"; }
+  BlockerKind kind() const override { return kBlockerIssuerMatch; }
+  void AddCandidates(const Dataset& dataset, CandidateSet* out) const override;
+
+  /// Issuer groups with more security records than this are skipped
+  /// (defensive bound; a huge issuer group means the company matching
+  /// already failed).
+  static constexpr size_t kMaxGroup = 96;
+
+ private:
+  const std::vector<int64_t>* company_group_of_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_BLOCKING_ISSUER_MATCH_H_

@@ -1,0 +1,75 @@
+#include "blocking/token_overlap.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/normalize.h"
+
+namespace gralmatch {
+
+void TokenOverlapBlocker::AddCandidates(const Dataset& dataset,
+                                        CandidateSet* out) const {
+  const size_t n = dataset.records.size();
+  if (n < 2) return;
+
+  // Tokenize every record once (deduplicated tokens).
+  std::vector<std::vector<std::string>> tokens_of(n);
+  std::unordered_map<std::string, uint32_t> df;
+  for (size_t i = 0; i < n; ++i) {
+    auto toks = TokenizeContentWords(
+        dataset.records.at(static_cast<RecordId>(i)).AllText());
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const auto& t : toks) ++df[t];
+    tokens_of[i] = std::move(toks);
+  }
+
+  // Token ids for the inverted index, skipping ultra-frequent tokens.
+  const auto max_df =
+      static_cast<uint32_t>(options_.max_token_df * static_cast<double>(n)) + 1;
+  std::unordered_map<std::string, int32_t> token_ids;
+  std::vector<std::vector<RecordId>> postings;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& t : tokens_of[i]) {
+      if (df[t] > max_df || df[t] < 2) continue;
+      auto [it, inserted] =
+          token_ids.emplace(t, static_cast<int32_t>(postings.size()));
+      if (inserted) postings.emplace_back();
+      postings[static_cast<size_t>(it->second)].push_back(
+          static_cast<RecordId>(i));
+    }
+  }
+
+  // For each record, count overlaps against other-source records and keep
+  // the top-n by overlap count (ties resolved by record id for determinism).
+  std::unordered_map<RecordId, uint32_t> overlap;
+  for (size_t i = 0; i < n; ++i) {
+    overlap.clear();
+    const SourceId source = dataset.records.at(static_cast<RecordId>(i)).source();
+    for (const auto& t : tokens_of[i]) {
+      auto it = token_ids.find(t);
+      if (it == token_ids.end()) continue;
+      for (RecordId other : postings[static_cast<size_t>(it->second)]) {
+        if (static_cast<size_t>(other) == i) continue;
+        if (dataset.records.at(other).source() == source) continue;
+        ++overlap[other];
+      }
+    }
+    std::vector<std::pair<RecordId, uint32_t>> ranked;
+    ranked.reserve(overlap.size());
+    for (const auto& [rid, cnt] : overlap) {
+      if (cnt >= options_.min_overlap) ranked.emplace_back(rid, cnt);
+    }
+    size_t keep = std::min(options_.top_n, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
+                      ranked.end(), [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+    for (size_t k = 0; k < keep; ++k) {
+      out->Add(RecordPair(static_cast<RecordId>(i), ranked[k].first), kind());
+    }
+  }
+}
+
+}  // namespace gralmatch

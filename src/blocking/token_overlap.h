@@ -1,0 +1,46 @@
+#ifndef GRALMATCH_BLOCKING_TOKEN_OVERLAP_H_
+#define GRALMATCH_BLOCKING_TOKEN_OVERLAP_H_
+
+/// \file token_overlap.h
+/// Token Overlap blocking (§5.3.1): each record is viewed as its token set;
+/// a record is paired with the top-n records of *other* data sources that
+/// share the most tokens with it. This is the blocking that finds candidate
+/// matches by text alignment — and the main source of false positive
+/// predictions on records sharing common terms, which GraLMatch's
+/// Pre-Cleanup specifically targets.
+
+#include <cstdint>
+#include <string>
+
+#include "blocking/blocker.h"
+
+namespace gralmatch {
+
+/// \brief Token Overlap blocker.
+class TokenOverlapBlocker : public Blocker {
+ public:
+  struct Options {
+    /// Candidates kept per record (the paper's top-n).
+    size_t top_n = 5;
+    /// Minimum number of overlapping tokens to qualify.
+    size_t min_overlap = 2;
+    /// Tokens present in more than this fraction of records are ignored
+    /// when counting overlaps (they carry no discriminative signal and blow
+    /// up the inverted index).
+    double max_token_df = 0.05;
+  };
+
+  TokenOverlapBlocker() = default;
+  explicit TokenOverlapBlocker(Options options) : options_(options) {}
+
+  std::string name() const override { return "Token Overlap"; }
+  BlockerKind kind() const override { return kBlockerTokenOverlap; }
+  void AddCandidates(const Dataset& dataset, CandidateSet* out) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_BLOCKING_TOKEN_OVERLAP_H_

@@ -1,0 +1,50 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace gralmatch {
+
+CliFlags CliFlags::Parse(int argc, char** argv) {
+  CliFlags out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        out.flags_[body] = argv[++i];
+      } else {
+        out.flags_[body] = "";
+      }
+    } else {
+      out.positional_.push_back(arg);
+    }
+  }
+  return out;
+}
+
+bool CliFlags::Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t CliFlags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliFlags::GetDouble(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace gralmatch

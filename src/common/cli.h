@@ -1,0 +1,43 @@
+#ifndef GRALMATCH_COMMON_CLI_H_
+#define GRALMATCH_COMMON_CLI_H_
+
+/// \file cli.h
+/// Minimal command-line flag parsing for the bench/example binaries.
+/// Supports `--name value`, `--name=value`, and boolean `--name`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gralmatch {
+
+/// \brief Parsed command-line flags.
+class CliFlags {
+ public:
+  /// Parse argv; unknown flags are kept (benches decide what to accept).
+  static CliFlags Parse(int argc, char** argv);
+
+  /// True if --name was given (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value or fallback.
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value or fallback.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value or fallback.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_COMMON_CLI_H_

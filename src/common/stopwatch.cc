@@ -1,0 +1,27 @@
+#include "common/stopwatch.h"
+
+#include <cstdio>
+
+namespace gralmatch {
+
+std::string Stopwatch::FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    int h = static_cast<int>(seconds / 3600.0);
+    int m = static_cast<int>((seconds - h * 3600.0) / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dh %dmin", h, m);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f sec", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+std::string Stopwatch::ElapsedHuman() const {
+  return FormatSeconds(ElapsedSeconds());
+}
+
+}  // namespace gralmatch

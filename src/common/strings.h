@@ -1,0 +1,48 @@
+#ifndef GRALMATCH_COMMON_STRINGS_H_
+#define GRALMATCH_COMMON_STRINGS_H_
+
+/// \file strings.h
+/// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gralmatch {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Split on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// True if s starts with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if s ends with suffix.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replace all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithThousandsSep(long long value);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_COMMON_STRINGS_H_

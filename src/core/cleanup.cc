@@ -1,0 +1,121 @@
+#include "core/cleanup.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/stopwatch.h"
+#include "blocking/blocker.h"
+#include "graph/betweenness.h"
+#include "graph/min_cut.h"
+
+namespace gralmatch {
+
+void PreCleanup(Graph* graph, const std::vector<uint32_t>& edge_provenance,
+                size_t component_threshold, CleanupStats* stats) {
+  if (component_threshold == 0) return;
+  for (const auto& comp : graph->ConnectedComponents()) {
+    if (comp.size() <= component_threshold) continue;
+    for (EdgeId e : graph->EdgesWithin(comp)) {
+      uint32_t prov = e < static_cast<EdgeId>(edge_provenance.size())
+                          ? edge_provenance[static_cast<size_t>(e)]
+                          : 0;
+      if (prov == kBlockerTokenOverlap) {
+        graph->RemoveEdge(e);
+        if (stats) ++stats->pre_cleanup_edges_removed;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(
+    Graph* graph, CleanupStats* stats) const {
+  Stopwatch watch;
+  std::vector<std::vector<NodeId>> done;   // components at or below mu
+  std::deque<std::vector<NodeId>> work;    // components still to inspect
+  for (auto& comp : graph->ConnectedComponents()) {
+    work.push_back(std::move(comp));
+  }
+
+  // Phase 1 (lines 3-6): while the largest component exceeds gamma, remove
+  // a minimum edge cut. Removing the cut is guaranteed to disconnect the
+  // component, so both sides are re-enqueued. Phase 2 (lines 7-10): while a
+  // component exceeds mu, remove the single edge with maximum betweenness
+  // centrality; the component may or may not split. Processing each
+  // component independently is equivalent to the paper's global
+  // argmax-by-size loop because components do not interact.
+  std::deque<std::vector<NodeId>> phase2;
+  while (!work.empty()) {
+    std::vector<NodeId> comp = std::move(work.front());
+    work.pop_front();
+    if (comp.size() <= config_.gamma || config_.gamma == GraphCleanupConfig::kNoMinCut) {
+      phase2.push_back(std::move(comp));
+      continue;
+    }
+    auto cut = StoerWagnerMinCut(*graph, comp);
+    if (!cut.ok() || cut->cut_edges.empty()) {
+      // Degenerate (should not happen on a connected component); give up on
+      // this component rather than loop forever.
+      phase2.push_back(std::move(comp));
+      continue;
+    }
+    if (stats) {
+      ++stats->min_cut_calls;
+      stats->min_cut_edges_removed += cut->cut_edges.size();
+    }
+    for (EdgeId e : cut->cut_edges) graph->RemoveEdge(e);
+    // The cut separates `partition` from the rest of the component.
+    std::vector<NodeId> rest;
+    rest.reserve(comp.size() - cut->partition.size());
+    std::vector<bool> in_side(0);
+    {
+      // partition is sorted; comp is sorted.
+      size_t pi = 0;
+      for (NodeId u : comp) {
+        if (pi < cut->partition.size() && cut->partition[pi] == u) {
+          ++pi;
+        } else {
+          rest.push_back(u);
+        }
+      }
+    }
+    work.push_back(std::move(cut->partition));
+    work.push_back(std::move(rest));
+  }
+
+  while (!phase2.empty()) {
+    std::vector<NodeId> comp = std::move(phase2.front());
+    phase2.pop_front();
+    if (comp.size() <= config_.mu) {
+      done.push_back(std::move(comp));
+      continue;
+    }
+    EdgeId e = MaxBetweennessEdge(*graph, comp);
+    if (stats) ++stats->betweenness_calls;
+    if (e < 0) {
+      done.push_back(std::move(comp));
+      continue;
+    }
+    NodeId u = graph->edge(e).u;
+    NodeId v = graph->edge(e).v;
+    graph->RemoveEdge(e);
+    if (stats) ++stats->betweenness_edges_removed;
+    std::vector<NodeId> side_u = graph->ComponentOf(u);
+    if (std::binary_search(side_u.begin(), side_u.end(), v)) {
+      // Did not split; keep working on the same component.
+      phase2.push_back(std::move(side_u));
+    } else {
+      phase2.push_back(std::move(side_u));
+      phase2.push_back(graph->ComponentOf(v));
+    }
+  }
+
+  // Deterministic output order (by smallest node).
+  std::sort(done.begin(), done.end(),
+            [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+              return a.front() < b.front();
+            });
+  if (stats) stats->seconds += watch.ElapsedSeconds();
+  return done;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,56 @@
+#include "core/embeddedness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gralmatch {
+
+double EdgeEmbeddedness(const Graph& graph, EdgeId edge) {
+  const Graph::Edge& e = graph.edge(edge);
+  std::vector<std::pair<NodeId, EdgeId>> nu, nv;
+  graph.AliveNeighbors(e.u, &nu);
+  graph.AliveNeighbors(e.v, &nv);
+  // Distinct neighbors (parallel edges collapse for this purpose).
+  std::unordered_set<NodeId> set_u;
+  for (const auto& [n, eid] : nu) {
+    if (n != e.v) set_u.insert(n);
+  }
+  size_t deg_u = set_u.size() + 1;  // +1 for v itself
+  std::unordered_set<NodeId> set_v;
+  for (const auto& [n, eid] : nv) {
+    if (n != e.u) set_v.insert(n);
+  }
+  size_t deg_v = set_v.size() + 1;
+
+  size_t min_deg = std::min(deg_u, deg_v);
+  if (min_deg <= 1) return 1.0;
+
+  size_t common = 0;
+  for (NodeId n : set_u) common += set_v.count(n);
+  if (min_deg - 1 == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(min_deg - 1);
+}
+
+size_t RemoveWeaklyEmbeddedEdges(Graph* graph,
+                                 const EmbeddednessOptions& options) {
+  // Decide on the original topology, then remove, so that removals do not
+  // cascade within one pass (deterministic and order-independent).
+  std::vector<EdgeId> to_remove;
+  for (size_t e = 0; e < graph->num_edges_total(); ++e) {
+    EdgeId eid = static_cast<EdgeId>(e);
+    if (!graph->edge_alive(eid)) continue;
+    if (EdgeEmbeddedness(*graph, eid) < options.min_strength) {
+      to_remove.push_back(eid);
+    }
+  }
+  for (EdgeId e : to_remove) graph->RemoveEdge(e);
+  return to_remove.size();
+}
+
+std::vector<std::vector<NodeId>> EmbeddednessGroups(
+    Graph* graph, const EmbeddednessOptions& options) {
+  RemoveWeaklyEmbeddedEdges(graph, options);
+  return graph->ConnectedComponents();
+}
+
+}  // namespace gralmatch

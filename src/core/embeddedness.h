@@ -1,0 +1,42 @@
+#ifndef GRALMATCH_CORE_EMBEDDEDNESS_H_
+#define GRALMATCH_CORE_EMBEDDEDNESS_H_
+
+/// \file embeddedness.h
+/// Size-agnostic graph cleanup via edge embeddedness: an edge whose
+/// endpoints share (almost) no common neighbors is topologically a bridge
+/// between two groups — exactly the shape of a false positive pairwise
+/// prediction — while edges inside a true entity group are backed by many
+/// common neighbors, regardless of the group's size. This is the second
+/// heterogeneous-group-size cleanup (besides label propagation) addressing
+/// the paper's WDC limitation (§6.2.3).
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gralmatch {
+
+struct EmbeddednessOptions {
+  /// Remove an edge when common_neighbors / (min_degree - 1) falls below
+  /// this threshold. Edges incident to a degree-1 endpoint are always kept
+  /// (pairs cannot have common neighbors).
+  double min_strength = 0.34;
+};
+
+/// Per-edge embeddedness strength in [0, 1] for every alive edge.
+/// strength(u, v) = |N(u) ∩ N(v)| / (min(deg(u), deg(v)) - 1), defined as
+/// 1 when min degree is 1.
+double EdgeEmbeddedness(const Graph& graph, EdgeId edge);
+
+/// Tombstone all alive edges below the strength threshold; returns the
+/// number of removed edges.
+size_t RemoveWeaklyEmbeddedEdges(Graph* graph,
+                                 const EmbeddednessOptions& options = {});
+
+/// Convenience: filter then return the connected components.
+std::vector<std::vector<NodeId>> EmbeddednessGroups(
+    Graph* graph, const EmbeddednessOptions& options = {});
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_CORE_EMBEDDEDNESS_H_

@@ -1,0 +1,66 @@
+#include "core/label_propagation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace gralmatch {
+
+std::vector<std::vector<NodeId>> LabelPropagationGroups(
+    const Graph& graph, const LabelPropagationOptions& options) {
+  const size_t n = graph.num_nodes();
+  std::vector<NodeId> label(n);
+  std::iota(label.begin(), label.end(), 0);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+
+  std::vector<std::pair<NodeId, EdgeId>> neighbors;
+  std::unordered_map<NodeId, double> weight_of_label;
+  for (size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (size_t u : order) {
+      graph.AliveNeighbors(static_cast<NodeId>(u), &neighbors);
+      if (neighbors.empty()) continue;
+      weight_of_label.clear();
+      for (const auto& [v, e] : neighbors) {
+        weight_of_label[label[static_cast<size_t>(v)]] += 1.0;
+      }
+      NodeId best = label[u];
+      double best_weight = weight_of_label.count(best)
+                               ? weight_of_label[best]
+                               : 0.0;
+      for (const auto& [lab, w] : weight_of_label) {
+        if (w > best_weight || (w == best_weight && lab < best)) {
+          best = lab;
+          best_weight = w;
+        }
+      }
+      if (best != label[u]) {
+        label[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::unordered_map<NodeId, std::vector<NodeId>> by_label;
+  for (size_t u = 0; u < n; ++u) {
+    by_label[label[u]].push_back(static_cast<NodeId>(u));
+  }
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(by_label.size());
+  for (auto& [lab, members] : by_label) {
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+              return a.front() < b.front();
+            });
+  return groups;
+}
+
+}  // namespace gralmatch

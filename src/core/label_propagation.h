@@ -1,0 +1,38 @@
+#ifndef GRALMATCH_CORE_LABEL_PROPAGATION_H_
+#define GRALMATCH_CORE_LABEL_PROPAGATION_H_
+
+/// \file label_propagation.h
+/// Alternative graph cleanup for heterogeneous group sizes — the extension
+/// the paper calls for in §4.2/§6.2.3 ("other Graph Cleanup methods able to
+/// produce groups of heterogeneous sizes should be considered", for
+/// settings like WDC Products where mu = #sources over-splits).
+///
+/// Semi-synchronous label propagation: every node starts in its own
+/// community; on each sweep a node adopts the label carrying the largest
+/// total edge weight among its neighbors (parallel edges add weight, ties
+/// broken toward the smaller label for determinism). Densely connected true
+/// groups converge to one label regardless of their size, while a single
+/// false positive bridge carries too little weight to merge two groups.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gralmatch {
+
+struct LabelPropagationOptions {
+  size_t max_sweeps = 20;
+  uint64_t seed = 12;   ///< node-visit order shuffling
+};
+
+/// Community assignment over the alive edges of `graph`. Returns groups in
+/// the same shape as GraLMatchCleanup::Run (sorted members, singletons
+/// included, deterministic order).
+std::vector<std::vector<NodeId>> LabelPropagationGroups(
+    const Graph& graph, const LabelPropagationOptions& options = {});
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_CORE_LABEL_PROPAGATION_H_

@@ -1,0 +1,65 @@
+#include "core/pipeline.h"
+
+#include "common/stopwatch.h"
+
+namespace gralmatch {
+
+std::vector<int64_t> PipelineResult::GroupOfRecord(size_t num_records) const {
+  std::vector<int64_t> out(num_records, -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId u : groups[g]) {
+      if (static_cast<size_t>(u) < num_records) {
+        out[static_cast<size_t>(u)] = static_cast<int64_t>(g);
+      }
+    }
+  }
+  return out;
+}
+
+PipelineResult EntityGroupPipeline::Run(const Dataset& dataset,
+                                        const std::vector<Candidate>& candidates,
+                                        const PairwiseMatcher& matcher) const {
+  Stopwatch watch;
+  std::vector<Candidate> positives;
+  positives.reserve(candidates.size() / 4 + 1);
+  for (const auto& cand : candidates) {
+    const Record& a = dataset.records.at(cand.pair.a);
+    const Record& b = dataset.records.at(cand.pair.b);
+    if (matcher.MatchProbability(a, b) >= config_.match_threshold) {
+      positives.push_back(cand);
+    }
+  }
+  double inference_seconds = watch.ElapsedSeconds();
+
+  PipelineResult result =
+      RunOnPredictions(dataset.records.size(), positives);
+  result.inference_seconds = inference_seconds;
+  return result;
+}
+
+PipelineResult EntityGroupPipeline::RunOnPredictions(
+    size_t num_records, const std::vector<Candidate>& positives) const {
+  PipelineResult result;
+  Graph graph(num_records);
+  std::vector<uint32_t> edge_provenance;
+  edge_provenance.reserve(positives.size());
+  for (const auto& cand : positives) {
+    auto added = graph.AddEdge(cand.pair.a, cand.pair.b);
+    if (added.ok()) {
+      edge_provenance.push_back(cand.provenance);
+      result.predicted_pairs.push_back(cand.pair);
+    }
+  }
+
+  // Stage 2 snapshot: components implied by the raw predictions.
+  result.pre_cleanup_components = graph.ConnectedComponents();
+
+  // Pre Graph Cleanup + Algorithm 1.
+  PreCleanup(&graph, edge_provenance, config_.pre_cleanup_threshold,
+             &result.cleanup_stats);
+  GraLMatchCleanup cleanup(config_.cleanup);
+  result.groups = cleanup.Run(&graph, &result.cleanup_stats);
+  return result;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,166 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace gralmatch {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_started = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_started = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field in CSV input");
+  }
+  if (row_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+void AppendCsvField(const std::string& f, std::string* out) {
+  bool need_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+  if (!need_quotes) {
+    out->append(f);
+    return;
+  }
+  out->push_back('"');
+  for (char c : f) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      AppendCsvField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteRecordsCsv(const std::string& path, const RecordTable& table,
+                       const GroundTruth* truth) {
+  // Union of attribute names, first-seen order.
+  std::vector<std::string> columns;
+  std::unordered_map<std::string, size_t> column_index;
+  for (const auto& rec : table.records()) {
+    for (const auto& [n, v] : rec.attributes()) {
+      if (!column_index.count(n)) {
+        column_index[n] = columns.size();
+        columns.push_back(n);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.size() + 1);
+  std::vector<std::string> header = {"source", "entity_id"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  rows.push_back(std::move(header));
+
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Record& rec = table.at(static_cast<RecordId>(i));
+    std::vector<std::string> row(columns.size() + 2);
+    row[0] = std::to_string(rec.source());
+    row[1] = truth ? std::to_string(truth->entity_of(static_cast<RecordId>(i)))
+                   : "-1";
+    for (const auto& [n, v] : rec.attributes()) {
+      row[2 + column_index[n]] = v;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  std::string csv = WriteCsv(rows);
+  file.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadRecordsCsv(const std::string& path, RecordKind kind,
+                      RecordTable* table, GroundTruth* truth) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open for reading: " + path);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  GRALMATCH_ASSIGN_OR_RETURN(auto rows, ParseCsv(buf.str()));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + path);
+
+  const auto& header = rows[0];
+  if (header.size() < 2 || header[0] != "source" || header[1] != "entity_id") {
+    return Status::InvalidArgument("unexpected CSV header in " + path);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 2) continue;
+    Record rec(static_cast<SourceId>(std::atoi(row[0].c_str())), kind);
+    for (size_t c = 2; c < row.size() && c < header.size(); ++c) {
+      if (!row[c].empty()) rec.Set(header[c], row[c]);
+    }
+    RecordId id = table->Add(std::move(rec));
+    if (truth) {
+      truth->Assign(id, static_cast<EntityId>(std::atoi(row[1].c_str())));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gralmatch

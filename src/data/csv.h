@@ -1,0 +1,34 @@
+#ifndef GRALMATCH_DATA_CSV_H_
+#define GRALMATCH_DATA_CSV_H_
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV reading/writing for exporting and re-importing
+/// generated datasets (quoted fields, embedded commas/quotes/newlines).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/ground_truth.h"
+#include "data/record.h"
+
+namespace gralmatch {
+
+/// Parse one CSV document into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+
+/// Serialize rows to CSV (fields quoted when needed).
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Write a RecordTable (+ optional ground truth) to a CSV file with columns:
+/// source, entity_id, then the union of attribute names in first-seen order.
+Status WriteRecordsCsv(const std::string& path, const RecordTable& table,
+                       const GroundTruth* truth);
+
+/// Read back a file produced by WriteRecordsCsv.
+Status ReadRecordsCsv(const std::string& path, RecordKind kind,
+                      RecordTable* table, GroundTruth* truth);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATA_CSV_H_

@@ -1,0 +1,41 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace gralmatch {
+
+std::vector<RecordId> GroupSplit::RecordsIn(SplitPart part) const {
+  std::vector<RecordId> out;
+  for (size_t i = 0; i < part_of_record.size(); ++i) {
+    if (part_of_record[i] == part) out.push_back(static_cast<RecordId>(i));
+  }
+  return out;
+}
+
+GroupSplit SplitByGroups(const GroundTruth& truth, Rng* rng, double train_frac,
+                         double val_frac) {
+  auto groups = truth.Groups();
+  std::vector<EntityId> entities;
+  entities.reserve(groups.size());
+  for (const auto& [e, members] : groups) entities.push_back(e);
+  std::sort(entities.begin(), entities.end());
+  rng->Shuffle(&entities);
+
+  size_t n = entities.size();
+  size_t n_train = static_cast<size_t>(n * train_frac);
+  size_t n_val = static_cast<size_t>(n * val_frac);
+
+  GroupSplit split;
+  split.part_of_record.assign(truth.num_records(), SplitPart::kTrain);
+  for (size_t i = 0; i < n; ++i) {
+    SplitPart part = i < n_train                ? SplitPart::kTrain
+                     : i < n_train + n_val      ? SplitPart::kValidation
+                                                : SplitPart::kTest;
+    for (RecordId r : groups[entities[i]]) {
+      split.part_of_record[static_cast<size_t>(r)] = part;
+    }
+  }
+  return split;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,53 @@
+#ifndef GRALMATCH_DATA_DATASET_H_
+#define GRALMATCH_DATA_DATASET_H_
+
+/// \file dataset.h
+/// Dataset containers and the group-wise train/validation/test split of
+/// §5.1.3 of the paper (60/20/20 over ground-truth record groups, so that
+/// all records of an entity land in exactly one split).
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/ground_truth.h"
+#include "data/record.h"
+
+namespace gralmatch {
+
+/// \brief A matchable dataset: records plus their ground-truth grouping.
+struct Dataset {
+  std::string name;
+  RecordTable records;
+  GroundTruth truth;
+
+  /// For securities datasets: companies table the securities reference via
+  /// the "issuer_ref" attribute (record id in `issuer_records`), along with
+  /// its ground truth. Empty for company/product datasets.
+  RecordTable issuer_records;
+  GroundTruth issuer_truth;
+
+  bool has_issuers() const { return !issuer_records.empty(); }
+};
+
+/// Which split a record group was assigned to.
+enum class SplitPart : uint8_t { kTrain = 0, kValidation = 1, kTest = 2 };
+
+/// \brief Assignment of every entity (and hence every record) to a split.
+struct GroupSplit {
+  std::vector<SplitPart> part_of_record;   ///< indexed by RecordId
+
+  /// Record ids belonging to a split part.
+  std::vector<RecordId> RecordsIn(SplitPart part) const;
+
+  SplitPart part(RecordId r) const { return part_of_record[static_cast<size_t>(r)]; }
+};
+
+/// Split ground-truth record groups 60/20/20 (train/val/test) uniformly at
+/// random with the given rng. Records with no entity go to train.
+GroupSplit SplitByGroups(const GroundTruth& truth, Rng* rng,
+                         double train_frac = 0.6, double val_frac = 0.2);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATA_DATASET_H_

@@ -1,0 +1,49 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+
+namespace gralmatch {
+
+void GroundTruth::Assign(RecordId record, EntityId entity) {
+  size_t idx = static_cast<size_t>(record);
+  if (idx >= entity_of_.size()) entity_of_.resize(idx + 1, kInvalidEntity);
+  entity_of_[idx] = entity;
+}
+
+std::unordered_map<EntityId, std::vector<RecordId>> GroundTruth::Groups() const {
+  std::unordered_map<EntityId, std::vector<RecordId>> out;
+  for (size_t i = 0; i < entity_of_.size(); ++i) {
+    if (entity_of_[i] == kInvalidEntity) continue;
+    out[entity_of_[i]].push_back(static_cast<RecordId>(i));
+  }
+  return out;
+}
+
+size_t GroundTruth::NumEntities() const {
+  auto groups = Groups();
+  return groups.size();
+}
+
+uint64_t GroundTruth::NumTrueMatches() const {
+  uint64_t total = 0;
+  for (const auto& [e, members] : Groups()) {
+    uint64_t g = members.size();
+    total += g * (g - 1) / 2;
+  }
+  return total;
+}
+
+std::vector<RecordPair> GroundTruth::AllTruePairs() const {
+  std::vector<RecordPair> out;
+  for (const auto& [e, members] : Groups()) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        out.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gralmatch

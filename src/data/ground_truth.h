@@ -1,0 +1,82 @@
+#ifndef GRALMATCH_DATA_GROUND_TRUTH_H_
+#define GRALMATCH_DATA_GROUND_TRUTH_H_
+
+/// \file ground_truth.h
+/// Ground-truth entity assignment for a RecordTable, plus the pair types
+/// used throughout blocking, matching and evaluation.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+
+namespace gralmatch {
+
+/// \brief Unordered record pair, normalized so that a < b.
+struct RecordPair {
+  RecordId a = kInvalidRecord;
+  RecordId b = kInvalidRecord;
+
+  RecordPair() = default;
+  RecordPair(RecordId x, RecordId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  bool operator==(const RecordPair& o) const { return a == o.a && b == o.b; }
+  bool operator<(const RecordPair& o) const {
+    return a != o.a ? a < o.a : b < o.b;
+  }
+};
+
+struct RecordPairHash {
+  size_t operator()(const RecordPair& p) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(static_cast<uint32_t>(p.a)) << 32) |
+        static_cast<uint32_t>(p.b));
+  }
+};
+
+/// \brief Entity assignment: one EntityId per record.
+///
+/// Two records match iff they share an entity id. The number of true matches
+/// of an entity group of size g is g*(g-1)/2 (the complete graph).
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(std::vector<EntityId> entity_of)
+      : entity_of_(std::move(entity_of)) {}
+
+  /// Assign a record to an entity, growing the table as needed.
+  void Assign(RecordId record, EntityId entity);
+
+  EntityId entity_of(RecordId record) const {
+    return entity_of_[static_cast<size_t>(record)];
+  }
+
+  size_t num_records() const { return entity_of_.size(); }
+
+  bool IsMatch(RecordId a, RecordId b) const {
+    return entity_of(a) != kInvalidEntity && entity_of(a) == entity_of(b);
+  }
+  bool IsMatch(const RecordPair& p) const { return IsMatch(p.a, p.b); }
+
+  /// Records of each entity, keyed by entity id.
+  std::unordered_map<EntityId, std::vector<RecordId>> Groups() const;
+
+  /// Number of distinct entities with at least one record.
+  size_t NumEntities() const;
+
+  /// Total number of true matches: sum over groups of g*(g-1)/2.
+  uint64_t NumTrueMatches() const;
+
+  /// All true match pairs (complete graph per group). Quadratic in group
+  /// size; intended for evaluation and training-pair construction.
+  std::vector<RecordPair> AllTruePairs() const;
+
+ private:
+  std::vector<EntityId> entity_of_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATA_GROUND_TRUTH_H_

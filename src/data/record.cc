@@ -1,0 +1,76 @@
+#include "data/record.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace gralmatch {
+
+void Record::Set(std::string_view name, std::string_view value) {
+  for (auto& [n, v] : attrs_) {
+    if (n == name) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(name), std::string(value));
+}
+
+std::string_view Record::Get(std::string_view name) const {
+  for (const auto& [n, v] : attrs_) {
+    if (n == name) return v;
+  }
+  return {};
+}
+
+bool Record::Has(std::string_view name) const { return !Get(name).empty(); }
+
+void Record::Erase(std::string_view name) {
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [&](const auto& kv) { return kv.first == name; }),
+               attrs_.end());
+}
+
+std::vector<std::string> Record::GetMulti(std::string_view name) const {
+  std::vector<std::string> out;
+  std::string_view raw = Get(name);
+  if (raw.empty()) return out;
+  for (auto& part : Split(raw, '|')) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+void Record::AddMulti(std::string_view name, std::string_view value) {
+  if (value.empty()) return;
+  auto existing = GetMulti(name);
+  for (const auto& v : existing) {
+    if (v == value) return;
+  }
+  existing.emplace_back(value);
+  Set(name, Join(existing, "|"));
+}
+
+std::string Record::AllText() const {
+  std::string out;
+  for (const auto& [n, v] : attrs_) {
+    if (v.empty() || (!n.empty() && n[0] == '_')) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(v);
+  }
+  return out;
+}
+
+RecordId RecordTable::Add(Record record) {
+  records_.push_back(std::move(record));
+  return static_cast<RecordId>(records_.size() - 1);
+}
+
+size_t RecordTable::NumSources() const {
+  std::set<SourceId> sources;
+  for (const auto& r : records_) sources.insert(r.source());
+  return sources.size();
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,123 @@
+#include "datagen/artifacts.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+#include "datagen/identifiers.h"
+#include "text/corporate.h"
+
+namespace gralmatch {
+
+const char* SecurityTypeName(SecurityType type) {
+  switch (type) {
+    case SecurityType::kCommonStock: return "Common Stock";
+    case SecurityType::kPreferredStock: return "Preferred Stock";
+    case SecurityType::kAdr: return "ADR";
+    case SecurityType::kBond: return "Bond";
+    case SecurityType::kRight: return "Rights";
+    case SecurityType::kUnit: return "Unit";
+  }
+  return "Security";
+}
+
+namespace {
+
+/// Random non-empty subset of [0, n); each element kept with probability p.
+std::vector<size_t> RandomSubset(size_t n, double p, Rng* rng) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(p)) out.push_back(i);
+  }
+  if (out.empty() && n > 0) out.push_back(rng->Uniform(n));
+  return out;
+}
+
+}  // namespace
+
+void ApplyAcronymName(GroupDraft* group, Rng* rng) {
+  std::string acronym = MakeAcronym(group->base.name);
+  if (acronym.empty()) return;
+  group->use_acronym.assign(group->sources.size(), false);
+  for (size_t i : RandomSubset(group->sources.size(), 0.4, rng)) {
+    group->use_acronym[i] = true;
+  }
+}
+
+void ApplyInsertCorporateTerm(GroupDraft* group, Rng* rng) {
+  group->inserted_corporate_term = rng->Choice(CorporateTerms());
+}
+
+void ApplyParaphraseAttribute(GroupDraft* group, const Paraphraser& paraphraser,
+                              Rng* rng) {
+  if (group->base.short_description.empty()) return;
+  group->base.short_description =
+      paraphraser.Paraphrase(group->base.short_description, rng);
+}
+
+void ApplyMultipleIds(GroupDraft* group, Rng* rng) {
+  if (group->securities.empty()) return;
+  SecurityDraft& sec =
+      group->securities[rng->Uniform(group->securities.size())];
+  // Duplicate one value of each present standard with a fresh identifier.
+  auto add_variant = [&](std::vector<std::string>* vals, auto generator) {
+    if (!vals->empty()) vals->push_back(generator(rng));
+  };
+  add_variant(&sec.isins, [](Rng* r) { return GenerateIsin(r); });
+  add_variant(&sec.cusips, [](Rng* r) { return GenerateCusip(r); });
+  add_variant(&sec.sedols, [](Rng* r) { return GenerateSedol(r); });
+  add_variant(&sec.valors, [](Rng* r) { return GenerateValor(r); });
+}
+
+void ApplyNoIdOverlaps(GroupDraft* group) {
+  for (auto& sec : group->securities) sec.no_id_overlaps = true;
+}
+
+void ApplyMultipleSecurities(GroupDraft* group, Rng* rng, EntityId* next_entity) {
+  static const SecurityType kExtraTypes[] = {
+      SecurityType::kBond, SecurityType::kRight, SecurityType::kUnit,
+      SecurityType::kPreferredStock};
+  size_t extra = 1 + rng->Uniform(2);
+  for (size_t k = 0; k < extra; ++k) {
+    SecurityDraft sec;
+    sec.entity = (*next_entity)++;
+    sec.type = kExtraTypes[rng->Uniform(std::size(kExtraTypes))];
+    sec.name = CanonicalCompanyName(group->base.name);
+    if (!sec.name.empty()) sec.name[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sec.name[0])));
+    sec.name += std::string(" ") + SecurityTypeName(sec.type);
+    sec.isins.push_back(GenerateIsin(rng));
+    if (rng->Bernoulli(0.5)) sec.cusips.push_back(GenerateCusip(rng));
+    if (rng->Bernoulli(0.3)) sec.sedols.push_back(GenerateSedol(rng));
+    sec.present_in = RandomSubset(group->sources.size(), 0.6, rng);
+    group->securities.push_back(std::move(sec));
+  }
+}
+
+void ApplyAcquisition(GroupDraft* acquirer, GroupDraft* acquiree, Rng* rng) {
+  acquirer->involved_in_acquisition = true;
+  acquiree->involved_in_acquisition = true;
+  // A random non-empty subset of the acquiree's sources records the event.
+  for (size_t i : RandomSubset(acquiree->sources.size(), 0.5, rng)) {
+    SourceOverwrite ow;
+    ow.source_index = i;
+    ow.overwrite_company = true;
+    ow.overwrite_security_ids = true;
+    acquiree->overwrites.push_back(ow);
+  }
+}
+
+void ApplyMerger(GroupDraft* left, GroupDraft* right, Rng* rng) {
+  left->involved_in_merger = true;
+  right->involved_in_merger = true;
+  // Some of left's sources overwrite part of its identifiers with right's.
+  for (size_t i : RandomSubset(left->sources.size(), 0.4, rng)) {
+    SourceOverwrite ow;
+    ow.source_index = i;
+    ow.overwrite_company = false;
+    ow.overwrite_security_ids = true;
+    left->overwrites.push_back(ow);
+  }
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,185 @@
+#include "datagen/name_model.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/strings.h"
+#include "text/corporate.h"
+
+namespace gralmatch {
+
+namespace namebank {
+
+const std::vector<std::string>& Prefixes() {
+  static const std::vector<std::string> kPrefixes = {
+      "crowd",  "cloud",  "data",   "deep",   "quant",  "nova",   "terra",
+      "aero",   "astro",  "bio",    "byte",   "cyber",  "delta",  "echo",
+      "ever",   "flex",   "fusion", "gala",   "geo",    "grid",   "helio",
+      "hyper",  "infra",  "inno",   "inter",  "iron",   "kinet",  "lumen",
+      "macro",  "magna",  "medi",   "mega",   "meta",   "micro",  "mono",
+      "neo",    "net",    "nexus",  "omni",   "open",   "opti",   "pan",
+      "para",   "peak",   "pivot",  "poly",   "prime",  "proto",  "pulse",
+      "quark",  "rapid",  "river",  "robo",   "sol",    "spark",  "stellar",
+      "strato", "summit", "swift",  "synth",  "tech",   "tele",   "think",
+      "tide",   "titan",  "trans",  "tri",    "turbo",  "ultra",  "uni",
+      "urban",  "vast",   "vector", "velo",   "verde",  "vertex", "vista",
+      "vital",  "volt",   "wave",   "zen",    "zenith", "alpine", "amber",
+      "apex",   "aqua",   "arc",    "atlas",  "aurora", "axis",   "beacon",
+      "blue",   "bold",   "bright", "cedar",  "core",   "crest",  "crystal",
+      "dawn",   "ember",  "falcon", "forge",  "north",  "oak",    "onyx",
+      "orbit",  "pine",   "quill",  "raven",  "sage",   "silver", "slate",
+      "stone",  "storm",  "summita", "tangent"};
+  return kPrefixes;
+}
+
+const std::vector<std::string>& Suffixes() {
+  static const std::vector<std::string> kSuffixes = {
+      "strike", "street", "stream", "strand", "works",  "wares",  "ware",
+      "scape",  "scope",  "span",   "sphere", "spire",  "base",   "bank",
+      "beam",   "bridge", "cast",   "chain",  "craft",  "deck",   "dock",
+      "edge",   "field",  "flow",   "forge",  "form",   "front",  "gate",
+      "gear",   "hub",    "lab",    "labs",   "land",   "layer",  "line",
+      "link",   "lock",   "loop",   "mark",   "mesh",   "mind",   "mint",
+      "net",    "node",   "path",   "pay",    "point",  "port",   "pulse",
+      "rail",   "reach",  "ridge",  "rise",   "run",    "scale",  "sense",
+      "shift",  "ship",   "side",   "sight",  "signal", "smith",  "source",
+      "stack",  "stage",  "star",   "state",  "storm",  "sync",   "tap",
+      "track",  "trade",  "trail",  "vault",  "verse",  "view",   "wise",
+      "yard",   "zone"};
+  return kSuffixes;
+}
+
+const std::vector<std::string>& Industries() {
+  static const std::vector<std::string> kIndustries = {
+      "energy",    "networks",  "resources",  "analytics", "robotics",
+      "logistics", "pharma",    "capital",    "mobility",  "security",
+      "biotech",   "fintech",   "media",      "gaming",    "health",
+      "materials", "aviation",  "automotive", "retail",    "foods",
+      "mining",    "shipping",  "telecom",    "insurance", "semiconductors"};
+  return kIndustries;
+}
+
+const std::vector<std::array<std::string, 3>>& Cities() {
+  static const std::vector<std::array<std::string, 3>> kCities = {
+      {"Zurich", "Zurich", "CHE"},        {"Geneva", "Geneva", "CHE"},
+      {"Basel", "Basel-Stadt", "CHE"},    {"London", "England", "GBR"},
+      {"Manchester", "England", "GBR"},   {"Edinburgh", "Scotland", "GBR"},
+      {"New York", "New York", "USA"},    {"San Francisco", "California", "USA"},
+      {"Austin", "Texas", "USA"},         {"Boston", "Massachusetts", "USA"},
+      {"Seattle", "Washington", "USA"},   {"Chicago", "Illinois", "USA"},
+      {"Berlin", "Berlin", "DEU"},        {"Munich", "Bavaria", "DEU"},
+      {"Frankfurt", "Hesse", "DEU"},      {"Paris", "Ile-de-France", "FRA"},
+      {"Lyon", "Auvergne-Rhone-Alpes", "FRA"}, {"Tokyo", "Kanto", "JPN"},
+      {"Osaka", "Kansai", "JPN"},         {"Toronto", "Ontario", "CAN"},
+      {"Vancouver", "British Columbia", "CAN"}, {"Amsterdam", "North Holland", "NLD"},
+      {"Rotterdam", "South Holland", "NLD"},    {"Stockholm", "Stockholm", "SWE"},
+      {"Copenhagen", "Capital Region", "DNK"},  {"Dublin", "Leinster", "IRL"},
+      {"Madrid", "Madrid", "ESP"},        {"Barcelona", "Catalonia", "ESP"},
+      {"Milan", "Lombardy", "ITA"},       {"Singapore", "Singapore", "SGP"},
+      {"Sydney", "New South Wales", "AUS"},     {"Melbourne", "Victoria", "AUS"},
+      {"Tel Aviv", "Tel Aviv", "ISR"},    {"Bangalore", "Karnataka", "IND"},
+      {"Sao Paulo", "Sao Paulo", "BRA"},  {"Mexico City", "CDMX", "MEX"}};
+  return kCities;
+}
+
+namespace {
+
+const std::vector<std::string>& DescriptionTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "%s provides %s solutions for enterprise customers in %s.",
+      "%s is a leading provider of %s services headquartered in %s.",
+      "%s develops %s products for clients worldwide from its base in %s.",
+      "%s offers a platform for %s targeting mid-market firms in %s.",
+      "%s builds tools for %s used by organizations across %s.",
+      "Founded in %s, %s specializes in %s for regulated industries.",
+      "%s delivers %s infrastructure to customers operating in %s."};
+  return kTemplates;
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) {
+    s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  }
+  return s;
+}
+
+}  // namespace
+}  // namespace namebank
+
+CompanyNameModel::CompanyNameModel(uint64_t seed) : seed_(seed) {}
+
+BaseCompany CompanyNameModel::Generate(size_t i) {
+  // Per-entity deterministic stream: same (seed, i) -> same company.
+  Rng rng(seed_ ^ (0xA5A5A5A5ULL + static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL));
+  const auto& prefixes = namebank::Prefixes();
+  const auto& suffixes = namebank::Suffixes();
+  const auto& industries = namebank::Industries();
+  const auto& cities = namebank::Cities();
+
+  BaseCompany c;
+  std::string prefix = rng.Choice(prefixes);
+  std::string suffix = rng.Choice(suffixes);
+  c.stem_prefix = prefix;
+  c.stem_suffix = suffix;
+  c.industry = rng.Choice(industries);
+
+  // Three naming shapes: fused ("CrowdStrike"), spaced ("Crowd Strike"),
+  // fused + industry word ("CrowdStrike Robotics").
+  std::string stem;
+  switch (rng.Uniform(3)) {
+    case 0:
+      stem = namebank::Capitalize(prefix) + suffix;
+      break;
+    case 1:
+      stem = namebank::Capitalize(prefix) + " " + namebank::Capitalize(suffix);
+      break;
+    default:
+      stem = namebank::Capitalize(prefix) + suffix + " " +
+             namebank::Capitalize(c.industry);
+      break;
+  }
+  c.name = stem;
+  // Roughly half of the base names carry a corporate term.
+  if (rng.Bernoulli(0.5)) {
+    c.name += " " + namebank::Capitalize(rng.Choice(CorporateTerms()));
+  }
+
+  const auto& city = rng.Choice(cities);
+  c.city = city[0];
+  c.region = city[1];
+  c.country_code = city[2];
+
+  // Ticker: 3-4 upper-case chars from the stem.
+  std::string letters;
+  for (char ch : prefix + suffix) {
+    if (std::isalpha(static_cast<unsigned char>(ch))) {
+      letters.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
+    }
+  }
+  size_t tick_len = 3 + rng.Uniform(2);
+  c.ticker = letters.substr(0, std::min(tick_len, letters.size()));
+
+  // Half the companies have a base description; combined with the
+  // per-source drop rate this yields ~32% of records with descriptions
+  // (Table 1 of the paper).
+  if (rng.Bernoulli(0.5)) {
+    c.short_description = MakeDescription(c, &rng);
+  }
+  return c;
+}
+
+std::string CompanyNameModel::MakeDescription(const BaseCompany& company,
+                                              Rng* rng) const {
+  const auto& templates = namebank::DescriptionTemplates();
+  const std::string& tmpl = rng->Choice(templates);
+  // Templates have three %s slots; the "Founded in" template starts with a
+  // year-like slot which we fill with the city for simplicity of banks.
+  if (StartsWith(tmpl, "Founded")) {
+    return StrFormat(tmpl.c_str(), company.city.c_str(), company.name.c_str(),
+                     company.industry.c_str());
+  }
+  return StrFormat(tmpl.c_str(), company.name.c_str(), company.industry.c_str(),
+                   company.region.c_str());
+}
+
+}  // namespace gralmatch

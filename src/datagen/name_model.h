@@ -1,0 +1,61 @@
+#ifndef GRALMATCH_DATAGEN_NAME_MODEL_H_
+#define GRALMATCH_DATAGEN_NAME_MODEL_H_
+
+/// \file name_model.h
+/// Compositional base-record generator standing in for the Crunchbase
+/// export of §3.2 (see DESIGN.md, substitution table). Company names are
+/// built from stem prefixes and suffixes so that distinct entities share
+/// long character sequences ("Crowdstrike" vs "Crowdstreet"), the collision
+/// structure that drives Token-Overlap false positives in the paper.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gralmatch {
+
+/// Base attributes of a generated company, before any per-source variation
+/// or data artifact is applied.
+struct BaseCompany {
+  std::string name;               ///< display name, e.g. "CrowdStrike Holdings"
+  std::string stem_prefix;        ///< name stem parts, kept for per-source
+  std::string stem_suffix;        ///<   fuse/split naming variants
+  std::string city;
+  std::string region;
+  std::string country_code;
+  std::string industry;           ///< industry keyword, may appear in the name
+  std::string short_description;  ///< empty for ~2/3 of companies
+  std::string ticker;             ///< stock-ticker-style abbreviation
+};
+
+/// \brief Deterministic compositional generator of base company records.
+class CompanyNameModel {
+ public:
+  explicit CompanyNameModel(uint64_t seed);
+
+  /// Generate the base record for entity index `i`. Deterministic given the
+  /// model seed: the same (seed, i) always produces the same company.
+  BaseCompany Generate(size_t i);
+
+  /// A description sentence for the given company (used when an artifact
+  /// needs fresh text).
+  std::string MakeDescription(const BaseCompany& company, Rng* rng) const;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Word banks exposed for tests and for the paraphraser.
+namespace namebank {
+const std::vector<std::string>& Prefixes();
+const std::vector<std::string>& Suffixes();
+const std::vector<std::string>& Industries();
+/// (city, region, country_code) triples.
+const std::vector<std::array<std::string, 3>>& Cities();
+}  // namespace namebank
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATAGEN_NAME_MODEL_H_

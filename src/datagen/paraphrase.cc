@@ -1,0 +1,97 @@
+#include "datagen/paraphrase.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+#include "text/normalize.h"
+
+namespace gralmatch {
+
+namespace {
+
+const std::unordered_map<std::string, std::vector<std::string>>& SynonymBank() {
+  static const std::unordered_map<std::string, std::vector<std::string>> kBank = {
+      {"provides", {"offers", "delivers", "supplies"}},
+      {"offers", {"provides", "delivers"}},
+      {"develops", {"builds", "creates", "engineers"}},
+      {"builds", {"develops", "constructs"}},
+      {"delivers", {"provides", "ships"}},
+      {"leading", {"top", "prominent", "major"}},
+      {"solutions", {"products", "offerings", "services"}},
+      {"services", {"solutions", "offerings"}},
+      {"products", {"solutions", "tools"}},
+      {"platform", {"system", "suite"}},
+      {"tools", {"software", "products"}},
+      {"enterprise", {"corporate", "business"}},
+      {"customers", {"clients", "users"}},
+      {"clients", {"customers", "partners"}},
+      {"specializes", {"focuses", "concentrates"}},
+      {"worldwide", {"globally", "internationally"}},
+      {"organizations", {"companies", "firms"}},
+      {"infrastructure", {"systems", "backbone"}},
+      {"targeting", {"serving", "aimed at"}},
+      {"headquartered", {"based", "located"}},
+      {"firms", {"companies", "businesses"}},
+      {"provider", {"vendor", "supplier"}},
+      {"industries", {"sectors", "markets"}},
+      {"regulated", {"compliance-driven", "supervised"}},
+  };
+  return kBank;
+}
+
+}  // namespace
+
+std::string Paraphraser::Paraphrase(std::string_view text, Rng* rng) const {
+  const auto& bank = SynonymBank();
+  std::vector<std::string> words = SplitWhitespace(text);
+  if (words.empty()) return std::string(text);
+
+  // 1) Synonym substitution on content words (strip trailing punctuation
+  //    before the lookup, re-attach after).
+  bool changed = false;
+  for (auto& w : words) {
+    std::string tail;
+    std::string head = w;
+    while (!head.empty() && !std::isalnum(static_cast<unsigned char>(head.back()))) {
+      tail.insert(tail.begin(), head.back());
+      head.pop_back();
+    }
+    auto it = bank.find(ToLower(head));
+    if (it != bank.end() && rng->Bernoulli(0.75)) {
+      std::string repl = rng->Choice(it->second);
+      // Preserve initial capitalization.
+      if (!head.empty() && std::isupper(static_cast<unsigned char>(head[0])) &&
+          !repl.empty()) {
+        repl[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(repl[0])));
+      }
+      w = repl + tail;
+      changed = true;
+    }
+  }
+
+  // 2) Clause reordering: move a trailing "in <place>." clause to the front.
+  std::string joined = Join(words, " ");
+  size_t in_pos = joined.rfind(" in ");
+  if (in_pos != std::string::npos && in_pos > joined.size() / 2 &&
+      rng->Bernoulli(0.4)) {
+    std::string head = joined.substr(0, in_pos);
+    std::string place = Trim(joined.substr(in_pos + 4));
+    while (!place.empty() && (place.back() == '.' || place.back() == ',')) {
+      place.pop_back();
+    }
+    if (!place.empty()) {
+      joined = "In " + place + ", " + head + ".";
+      changed = true;
+    }
+  }
+
+  // 3) Stopword churn: guarantee a difference even if nothing fired above.
+  if (!changed) {
+    joined = "Notably, " + joined;
+  }
+  return joined;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,28 @@
+#ifndef GRALMATCH_DATAGEN_PARAPHRASE_H_
+#define GRALMATCH_DATAGEN_PARAPHRASE_H_
+
+/// \file paraphrase.h
+/// Rule-based paraphraser standing in for the Pegasus summarization model
+/// used by the ParaphraseAttribute artifact (§3.2). It substitutes synonyms,
+/// reorders clauses and churns determiners/stopwords so that exact equality
+/// breaks while token overlap partially survives — the two properties the
+/// downstream matching task depends on (see DESIGN.md).
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace gralmatch {
+
+/// \brief Deterministic rule-based paraphraser.
+class Paraphraser {
+ public:
+  /// Rewrite `text`. The result differs from the input for non-trivial
+  /// inputs while preserving a substantial fraction of content words.
+  std::string Paraphrase(std::string_view text, Rng* rng) const;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATAGEN_PARAPHRASE_H_

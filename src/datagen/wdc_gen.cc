@@ -1,0 +1,162 @@
+#include "datagen/wdc_gen.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gralmatch {
+
+namespace {
+
+struct ProductEntity {
+  std::string brand;
+  std::string family;
+  std::string model;
+  std::string variant;   // color / capacity / size
+  std::string category;
+  double price = 0.0;
+};
+
+const std::vector<std::string>& Brands() {
+  static const std::vector<std::string> kBrands = {
+      "Acme",    "Zenwave", "Nortek",  "Luxor",  "Polarix", "Vanta",
+      "Helix",   "Quarz",   "Ostro",   "Kyuden", "Mirava",  "Tesora",
+      "Brightek", "Corvid", "Dynamo",  "Ettore", "Fenwick", "Gramo",
+      "Halcyon", "Intrex"};
+  return kBrands;
+}
+
+struct CategoryBank {
+  std::string category;
+  std::vector<std::string> families;
+  std::vector<std::string> variants;
+  double base_price;
+};
+
+const std::vector<CategoryBank>& Categories() {
+  static const std::vector<CategoryBank> kCategories = {
+      {"camera",
+       {"Hero", "Vision", "Optic", "Shot", "Lens Pro"},
+       {"Black", "Silver", "White", "Bundle"},
+       299.0},
+      {"phone",
+       {"Galaxy", "Pixelon", "Nova", "Edge", "Flipra"},
+       {"64GB", "128GB", "256GB", "512GB"},
+       699.0},
+      {"laptop",
+       {"Book", "Blade", "Air", "Station", "Flexo"},
+       {"13 inch", "14 inch", "15 inch", "17 inch"},
+       1099.0},
+      {"headphones",
+       {"Tune", "Beat", "Quiet", "Studio", "Pods"},
+       {"Black", "White", "Red", "Wireless"},
+       149.0},
+      {"drive",
+       {"Store", "Vaultix", "Speed", "Archive", "Portable"},
+       {"500GB", "1TB", "2TB", "4TB"},
+       89.0},
+      {"watch",
+       {"Fit", "Pulse", "Trek", "Classic", "Sport"},
+       {"40mm", "44mm", "GPS", "Cellular"},
+       249.0}};
+  return kCategories;
+}
+
+const std::vector<std::string>& ShopNoise() {
+  static const std::vector<std::string> kNoise = {
+      "NEW",   "OEM",     "Genuine", "Original", "Sealed",
+      "2024",  "Sale",    "Hot",     "Free Shipping", "EU"};
+  return kNoise;
+}
+
+ProductEntity MakeEntity(Rng* rng) {
+  const auto& cats = Categories();
+  const CategoryBank& cat = cats[rng->Uniform(cats.size())];
+  ProductEntity e;
+  e.category = cat.category;
+  e.brand = rng->Choice(Brands());
+  e.family = rng->Choice(cat.families);
+  e.model = std::to_string(1 + rng->Uniform(9)) +
+            (rng->Bernoulli(0.4) ? std::string(1, static_cast<char>(
+                                       'A' + rng->Uniform(6)))
+                                 : "");
+  e.variant = rng->Choice(cat.variants);
+  e.price = cat.base_price * rng->UniformDouble(0.8, 1.25);
+  return e;
+}
+
+/// Corner case: a sibling entity sharing brand/family/variant but with a
+/// different model designation (the hard negatives WDC is built around).
+ProductEntity MakeCornerSibling(const ProductEntity& base, Rng* rng) {
+  ProductEntity e = base;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::string model = std::to_string(1 + rng->Uniform(9)) +
+                        (rng->Bernoulli(0.4) ? std::string(1, static_cast<char>(
+                                                   'A' + rng->Uniform(6)))
+                                             : "");
+    if (model != base.model) {
+      e.model = model;
+      break;
+    }
+  }
+  e.price = base.price * rng->UniformDouble(0.9, 1.1);
+  return e;
+}
+
+std::string OfferTitle(const ProductEntity& e, Rng* rng) {
+  std::vector<std::string> parts;
+  parts.push_back(e.brand);
+  parts.push_back(e.family);
+  parts.push_back(e.model);
+  if (rng->Bernoulli(0.8)) parts.push_back(e.variant);
+  if (rng->Bernoulli(0.35)) parts.push_back(rng->Choice(ShopNoise()));
+  // Shops sometimes lead with noise or reorder brand/family.
+  if (rng->Bernoulli(0.25)) std::swap(parts[0], parts[1]);
+  if (rng->Bernoulli(0.2)) parts.insert(parts.begin(), rng->Choice(ShopNoise()));
+  return Join(parts, " ");
+}
+
+}  // namespace
+
+WdcProductsGenerator::WdcProductsGenerator(WdcConfig config)
+    : config_(std::move(config)) {}
+
+Dataset WdcProductsGenerator::Generate() {
+  Rng rng(config_.seed);
+  Dataset out;
+  out.name = "wdc_products";
+
+  std::vector<ProductEntity> entities;
+  entities.reserve(config_.num_entities);
+  for (size_t i = 0; i < config_.num_entities; ++i) {
+    if (!entities.empty() && rng.Bernoulli(config_.corner_case_frac)) {
+      entities.push_back(MakeCornerSibling(rng.Choice(entities), &rng));
+    } else {
+      entities.push_back(MakeEntity(&rng));
+    }
+  }
+
+  for (size_t i = 0; i < entities.size(); ++i) {
+    const ProductEntity& e = entities[i];
+    // Heterogeneous group sizes: many singletons, a long tail of large
+    // groups (approximate zipf via inverse-uniform).
+    size_t group =
+        std::min(config_.max_group_size,
+                 static_cast<size_t>(1.0 / std::max(1e-3, rng.UniformDouble()) ));
+    for (size_t k = 0; k < group; ++k) {
+      Record rec(static_cast<SourceId>(rng.Uniform(config_.num_sources)),
+                 RecordKind::kProduct);
+      rec.Set("title", OfferTitle(e, &rng));
+      if (rng.Bernoulli(0.7)) rec.Set("brand", e.brand);
+      if (rng.Bernoulli(0.5)) rec.Set("category", e.category);
+      if (rng.Bernoulli(0.6)) {
+        rec.Set("price", StrFormat("%.2f", e.price * rng.UniformDouble(0.97, 1.03)));
+      }
+      RecordId rid = out.records.Add(std::move(rec));
+      out.truth.Assign(rid, static_cast<EntityId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,42 @@
+#ifndef GRALMATCH_DATAGEN_WDC_GEN_H_
+#define GRALMATCH_DATAGEN_WDC_GEN_H_
+
+/// \file wdc_gen.h
+/// Generator of a WDC-Products-style benchmark (§5.1.4): multi-source
+/// product offers with heterogeneous group sizes and a high proportion of
+/// "corner cases" — offers of *different* entities whose titles share long
+/// token sequences (same brand/family, different model). This reproduces
+/// the structure that breaks Algorithm 1's homogeneous group-size
+/// assumption (μ = number of sources) in the paper's WDC experiment.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace gralmatch {
+
+/// Parameters of the product benchmark.
+struct WdcConfig {
+  uint64_t seed = 7;
+  size_t num_entities = 250;     ///< product entities
+  int num_sources = 10;          ///< web shops
+  double corner_case_frac = 0.8; ///< entities derived from a sibling entity
+  size_t max_group_size = 12;    ///< offers per entity, heterogeneous
+};
+
+/// \brief WDC-Products-style generator.
+class WdcProductsGenerator {
+ public:
+  explicit WdcProductsGenerator(WdcConfig config);
+
+  /// Generate the product dataset. Deterministic given the config seed.
+  Dataset Generate();
+
+ private:
+  WdcConfig config_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_DATAGEN_WDC_GEN_H_

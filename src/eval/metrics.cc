@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gralmatch {
+
+PrfMetrics PairwisePrf(const std::vector<RecordPair>& predicted,
+                       const GroundTruth& truth) {
+  PrfMetrics m;
+  for (const auto& pair : predicted) {
+    if (truth.IsMatch(pair)) {
+      ++m.tp;
+    } else {
+      ++m.fp;
+    }
+  }
+  uint64_t total_true = truth.NumTrueMatches();
+  m.fn = total_true >= m.tp ? total_true - m.tp : 0;
+  return m;
+}
+
+namespace {
+
+/// TP count of one component's complete graph: sum over entities of
+/// C(count, 2) for the records of that entity inside the component.
+uint64_t ComponentTruePairs(const std::vector<NodeId>& component,
+                            const GroundTruth& truth) {
+  std::unordered_map<EntityId, uint64_t> counts;
+  for (NodeId u : component) {
+    EntityId e = truth.entity_of(static_cast<RecordId>(u));
+    if (e != kInvalidEntity) ++counts[e];
+  }
+  uint64_t tp = 0;
+  for (const auto& [e, c] : counts) tp += c * (c - 1) / 2;
+  return tp;
+}
+
+}  // namespace
+
+PrfMetrics GroupPrf(const std::vector<std::vector<NodeId>>& components,
+                    const GroundTruth& truth) {
+  PrfMetrics m;
+  for (const auto& comp : components) {
+    uint64_t size = comp.size();
+    uint64_t total = size * (size - 1) / 2;
+    uint64_t tp = ComponentTruePairs(comp, truth);
+    m.tp += tp;
+    m.fp += total - tp;
+  }
+  uint64_t total_true = truth.NumTrueMatches();
+  m.fn = total_true >= m.tp ? total_true - m.tp : 0;
+  return m;
+}
+
+double ClusterPurity(const std::vector<std::vector<NodeId>>& components,
+                     const GroundTruth& truth) {
+  double weighted = 0.0;
+  uint64_t total_records = 0;
+  for (const auto& comp : components) {
+    uint64_t size = comp.size();
+    total_records += size;
+    if (size <= 1) {
+      weighted += static_cast<double>(size);  // purity 1 by convention
+      continue;
+    }
+    uint64_t total = size * (size - 1) / 2;
+    uint64_t tp = ComponentTruePairs(comp, truth);
+    weighted += static_cast<double>(size) *
+                (static_cast<double>(tp) / static_cast<double>(total));
+  }
+  return total_records == 0 ? 0.0 : weighted / static_cast<double>(total_records);
+}
+
+size_t LargestComponent(const std::vector<std::vector<NodeId>>& components) {
+  size_t best = 0;
+  for (const auto& comp : components) best = std::max(best, comp.size());
+  return best;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,59 @@
+#ifndef GRALMATCH_EVAL_METRICS_H_
+#define GRALMATCH_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// Evaluation metrics of §5.3.2/§5.3.3: pairwise precision/recall/F1, the
+/// three-stage entity-group metrics (transitive closure evaluated
+/// analytically per component, so giant components never materialize their
+/// quadratic edge sets), and the Cluster Purity Score.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "graph/graph.h"
+
+namespace gralmatch {
+
+/// Precision / recall / F1 from match counts.
+struct PrfMetrics {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : double(tp) / double(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : double(tp) / double(tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Pairwise metrics of an explicit prediction list. FN counts all unfound
+/// true matches of `truth` (blocking misses included, as in the paper's
+/// Stage-1 scores).
+PrfMetrics PairwisePrf(const std::vector<RecordPair>& predicted,
+                       const GroundTruth& truth);
+
+/// Entity-group metrics of a component list: every component contributes its
+/// complete graph as predicted matches (the transitive closure), counted
+/// analytically. Components must not share records.
+PrfMetrics GroupPrf(const std::vector<std::vector<NodeId>>& components,
+                    const GroundTruth& truth);
+
+/// Cluster Purity Score (§5.3.3): size-weighted average over components of
+/// (true positive matches) / (total matches) of the component's complete
+/// graph. Singleton components are perfectly pure by convention.
+double ClusterPurity(const std::vector<std::vector<NodeId>>& components,
+                     const GroundTruth& truth);
+
+/// Size of the largest component (0 for an empty list).
+size_t LargestComponent(const std::vector<std::vector<NodeId>>& components);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_EVAL_METRICS_H_

@@ -1,0 +1,40 @@
+#include "eval/pr_curve.h"
+
+namespace gralmatch {
+
+std::vector<ThresholdPoint> PrecisionRecallCurve(
+    const std::vector<ScoredPair>& scored, const GroundTruth& truth,
+    const std::vector<double>& thresholds) {
+  const uint64_t total_true = truth.NumTrueMatches();
+  std::vector<ThresholdPoint> out;
+  out.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    ThresholdPoint point;
+    point.threshold = threshold;
+    for (const auto& sp : scored) {
+      if (sp.score < threshold) continue;
+      if (truth.IsMatch(sp.pair)) {
+        ++point.tp;
+      } else {
+        ++point.fp;
+      }
+    }
+    point.fn = total_true >= point.tp ? total_true - point.tp : 0;
+    out.push_back(point);
+  }
+  return out;
+}
+
+ThresholdPoint BestF1Point(const std::vector<ThresholdPoint>& curve) {
+  ThresholdPoint best;
+  bool found = false;
+  for (const auto& point : curve) {
+    if (!found || point.F1() > best.F1()) {
+      best = point;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace gralmatch

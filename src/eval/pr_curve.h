@@ -1,0 +1,52 @@
+#ifndef GRALMATCH_EVAL_PR_CURVE_H_
+#define GRALMATCH_EVAL_PR_CURVE_H_
+
+/// \file pr_curve.h
+/// Precision/recall trade-off across decision thresholds. The paper shows
+/// that pairwise *precision* is the deciding factor for entity group
+/// matching; this utility is how a deployment picks the operating point
+/// (EntityGroupPipeline's match_threshold) for a given matcher.
+
+#include <vector>
+
+#include "data/ground_truth.h"
+
+namespace gralmatch {
+
+/// One scored candidate pair.
+struct ScoredPair {
+  RecordPair pair;
+  double score = 0.0;   ///< matcher probability
+};
+
+/// Metrics at one decision threshold.
+struct ThresholdPoint {
+  double threshold = 0.0;
+  uint64_t tp = 0, fp = 0, fn = 0;
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0 : double(tp) / double(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0 : double(tp) / double(tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Evaluate `scored` against `truth` at each threshold (predict match when
+/// score >= threshold). FN counts all unfound true matches of `truth`, as
+/// in PairwisePrf. Thresholds are processed as given; pass a sorted grid
+/// for a conventional curve.
+std::vector<ThresholdPoint> PrecisionRecallCurve(
+    const std::vector<ScoredPair>& scored, const GroundTruth& truth,
+    const std::vector<double>& thresholds);
+
+/// The threshold of `curve` with the best F1 (ties: lower threshold).
+ThresholdPoint BestF1Point(const std::vector<ThresholdPoint>& curve);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_EVAL_PR_CURVE_H_

@@ -1,0 +1,63 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace gralmatch {
+
+void TableReport::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TableReport::AddSeparator() { rows_.emplace_back(); }
+
+std::string TableReport::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += cell;
+      out.append(widths[i] - cell.size() + (i + 1 < widths.size() ? 3 : 0), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+    return out;
+  };
+
+  std::string out = render_row(header_);
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out.append(total, '-');
+      out.push_back('\n');
+    } else {
+      out += render_row(row);
+    }
+  }
+  return out;
+}
+
+void TableReport::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatPercent(double fraction) {
+  return StrFormat("%.2f", fraction * 100.0);
+}
+
+std::string FormatScore(double value) { return StrFormat("%.2f", value); }
+
+}  // namespace gralmatch

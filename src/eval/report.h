@@ -1,0 +1,44 @@
+#ifndef GRALMATCH_EVAL_REPORT_H_
+#define GRALMATCH_EVAL_REPORT_H_
+
+/// \file report.h
+/// ASCII table rendering for the benchmark harnesses that regenerate the
+/// paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace gralmatch {
+
+/// \brief Simple column-aligned ASCII table.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; missing trailing cells render empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void AddSeparator();
+
+  /// Render with padded columns.
+  std::string ToString() const;
+
+  /// Render and write to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// "97.26" style percentage formatting used across the paper's tables.
+std::string FormatPercent(double fraction);
+
+/// "0.98" style score formatting (cluster purity).
+std::string FormatScore(double value);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_EVAL_REPORT_H_

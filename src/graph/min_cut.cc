@@ -1,0 +1,109 @@
+#include "graph/min_cut.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace gralmatch {
+
+// Stoer-Wagner minimum cut, O(V^3) array implementation on the induced
+// subgraph. Parallel edges accumulate weight. The "best partition" is
+// tracked through the contraction sequence so that the crossing edge set of
+// the original subgraph can be reported.
+Result<MinCutResult> StoerWagnerMinCut(const Graph& graph,
+                                       const std::vector<NodeId>& component) {
+  const size_t n = component.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "minimum cut requires a component with at least 2 nodes");
+  }
+
+  // Local indexing.
+  std::unordered_map<NodeId, int> local;
+  local.reserve(n);
+  for (size_t i = 0; i < n; ++i) local[component[i]] = static_cast<int>(i);
+
+  // Dense weight matrix of the induced subgraph.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  std::vector<EdgeId> edges = graph.EdgesWithin(component);
+  for (EdgeId e : edges) {
+    int u = local[graph.edge(e).u];
+    int v = local[graph.edge(e).v];
+    w[static_cast<size_t>(u)][static_cast<size_t>(v)] += 1.0;
+    w[static_cast<size_t>(v)][static_cast<size_t>(u)] += 1.0;
+  }
+
+  // merged_into[i]: the set of original local nodes contracted into i.
+  std::vector<std::vector<int>> merged(n);
+  for (size_t i = 0; i < n; ++i) merged[i] = {static_cast<int>(i)};
+
+  std::vector<bool> gone(n, false);   // contracted away
+  double best_weight = std::numeric_limits<double>::infinity();
+  std::vector<int> best_side;
+
+  size_t remaining = n;
+  while (remaining > 1) {
+    // Minimum cut phase: maximum adjacency search.
+    std::vector<double> conn(n, 0.0);
+    std::vector<bool> in_a(n, false);
+    int prev = -1, last = -1;
+    for (size_t step = 0; step < remaining; ++step) {
+      int sel = -1;
+      double best = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (gone[i] || in_a[i]) continue;
+        if (conn[i] > best) {
+          best = conn[i];
+          sel = static_cast<int>(i);
+        }
+      }
+      in_a[static_cast<size_t>(sel)] = true;
+      prev = last;
+      last = sel;
+      for (size_t i = 0; i < n; ++i) {
+        if (gone[i] || in_a[i]) continue;
+        conn[i] += w[static_cast<size_t>(sel)][i];
+      }
+    }
+    // Cut-of-the-phase: the last added node versus the rest.
+    double phase_weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (gone[i] || static_cast<int>(i) == last) continue;
+      phase_weight += w[static_cast<size_t>(last)][i];
+    }
+    if (phase_weight < best_weight) {
+      best_weight = phase_weight;
+      best_side = merged[static_cast<size_t>(last)];
+    }
+    // Contract last into prev.
+    for (size_t i = 0; i < n; ++i) {
+      if (gone[i]) continue;
+      w[static_cast<size_t>(prev)][i] += w[static_cast<size_t>(last)][i];
+      w[i][static_cast<size_t>(prev)] = w[static_cast<size_t>(prev)][i];
+    }
+    w[static_cast<size_t>(prev)][static_cast<size_t>(prev)] = 0.0;
+    gone[static_cast<size_t>(last)] = true;
+    merged[static_cast<size_t>(prev)].insert(
+        merged[static_cast<size_t>(prev)].end(),
+        merged[static_cast<size_t>(last)].begin(),
+        merged[static_cast<size_t>(last)].end());
+    --remaining;
+  }
+
+  MinCutResult result;
+  result.weight = best_weight;
+  std::vector<bool> on_side(n, false);
+  for (int i : best_side) {
+    on_side[static_cast<size_t>(i)] = true;
+    result.partition.push_back(component[static_cast<size_t>(i)]);
+  }
+  std::sort(result.partition.begin(), result.partition.end());
+  for (EdgeId e : edges) {
+    bool su = on_side[static_cast<size_t>(local[graph.edge(e).u])];
+    bool sv = on_side[static_cast<size_t>(local[graph.edge(e).v])];
+    if (su != sv) result.cut_edges.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace gralmatch

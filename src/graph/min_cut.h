@@ -1,0 +1,35 @@
+#ifndef GRALMATCH_GRAPH_MIN_CUT_H_
+#define GRALMATCH_GRAPH_MIN_CUT_H_
+
+/// \file min_cut.h
+/// Global minimum edge cut via the Stoer-Wagner algorithm, restricted to one
+/// connected component of the match graph. GraLMatch removes the returned
+/// edge set to split oversized components (Algorithm 1, lines 3-6).
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gralmatch {
+
+/// Result of a minimum-cut computation.
+struct MinCutResult {
+  /// Edges crossing the minimum cut (alive edge ids of the input graph).
+  std::vector<EdgeId> cut_edges;
+  /// Total cut weight (== cut_edges.size() for the unweighted match graph,
+  /// counting parallel edges individually).
+  double weight = 0.0;
+  /// Nodes on one side of the cut.
+  std::vector<NodeId> partition;
+};
+
+/// Compute a global minimum edge cut of the subgraph induced by `component`
+/// (which must be connected in `graph`'s alive edges and contain >= 2 nodes;
+/// otherwise kInvalidArgument).
+Result<MinCutResult> StoerWagnerMinCut(const Graph& graph,
+                                       const std::vector<NodeId>& component);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_GRAPH_MIN_CUT_H_

@@ -1,0 +1,92 @@
+#ifndef GRALMATCH_MATCHING_BASELINES_H_
+#define GRALMATCH_MATCHING_BASELINES_H_
+
+/// \file baselines.h
+/// Non-transformer pairwise matchers: the identifier-overlap heuristic that
+/// the financial industry uses as its benchmark (§5.3.1), a classical
+/// TF-IDF + logistic-regression matcher, and the calibrated-latency LLM
+/// stand-in used for the §5.2 feasibility arithmetic.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "matching/matcher.h"
+#include "matching/pair_sampling.h"
+#include "text/tfidf.h"
+
+namespace gralmatch {
+
+/// \brief Matches iff the records share any identifier value (for company
+/// records: no identifiers means never matched).
+class HeuristicIdMatcher : public PairwiseMatcher {
+ public:
+  std::string name() const override { return "ID Heuristic"; }
+  double MatchProbability(const Record& a, const Record& b) const override;
+};
+
+/// \brief Logistic regression over classical similarity features:
+/// TF-IDF cosine of all text, Jaccard and Jaro-Winkler of names, and an
+/// identifier-overlap indicator. A Magellan-style baseline.
+class TfidfLogRegMatcher : public PairwiseMatcher {
+ public:
+  struct Options {
+    size_t epochs = 8;
+    float lr = 0.5f;
+    uint64_t seed = 3;
+  };
+
+  TfidfLogRegMatcher() : options_() {}
+  explicit TfidfLogRegMatcher(Options options) : options_(options) {}
+
+  /// Fit the TF-IDF space on `records` and the regression on the pairs.
+  void Train(const RecordTable& records, const std::vector<LabeledPair>& pairs);
+
+  std::string name() const override { return "TFIDF-LogReg"; }
+  double MatchProbability(const Record& a, const Record& b) const override;
+
+  /// The learned feature weights (bias last), for tests/inspection.
+  const std::vector<float>& weights() const { return weights_; }
+
+  static constexpr size_t kNumFeatures = 4;
+
+ private:
+  std::vector<float> Features(const Record& a, const Record& b) const;
+
+  Options options_;
+  TfidfVectorizer tfidf_;
+  std::vector<float> weights_;
+};
+
+/// \brief Calibrated-latency wrapper reproducing the paper's LLM argument:
+/// a LlaMa2-class model needs ~7 s per candidate pair, making million-pair
+/// workloads infeasible (90+ days). Scoring delegates to an inner matcher;
+/// ProjectedSeconds does the feasibility arithmetic without sleeping.
+class SlowLlmMatcher : public PairwiseMatcher {
+ public:
+  /// \param inner matcher that produces the actual decision.
+  /// \param seconds_per_pair calibrated LLM latency (paper: 7 s).
+  SlowLlmMatcher(std::unique_ptr<PairwiseMatcher> inner, double seconds_per_pair)
+      : inner_(std::move(inner)), seconds_per_pair_(seconds_per_pair) {}
+
+  std::string name() const override { return "LLM (7s/pair)"; }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    return inner_->MatchProbability(a, b);
+  }
+
+  /// Wall-clock this matcher would need for `num_pairs` evaluations.
+  double ProjectedSeconds(uint64_t num_pairs) const {
+    return seconds_per_pair_ * static_cast<double>(num_pairs);
+  }
+
+  double seconds_per_pair() const { return seconds_per_pair_; }
+
+ private:
+  std::unique_ptr<PairwiseMatcher> inner_;
+  double seconds_per_pair_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_MATCHING_BASELINES_H_

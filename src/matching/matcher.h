@@ -1,0 +1,34 @@
+#ifndef GRALMATCH_MATCHING_MATCHER_H_
+#define GRALMATCH_MATCHING_MATCHER_H_
+
+/// \file matcher.h
+/// Pairwise matcher interface. GraLMatch is matcher-agnostic (Figure 1 of
+/// the paper): any component that scores record pairs can feed the graph
+/// cleanup.
+
+#include <string>
+
+#include "data/record.h"
+
+namespace gralmatch {
+
+/// \brief Scores record pairs as Match / NoMatch.
+class PairwiseMatcher {
+ public:
+  virtual ~PairwiseMatcher() = default;
+
+  /// Display name ("DistilBERT (128)-ALL", ...).
+  virtual std::string name() const = 0;
+
+  /// Probability in [0, 1] that the two records refer to the same entity.
+  virtual double MatchProbability(const Record& a, const Record& b) const = 0;
+
+  /// Binary decision at the 0.5 threshold.
+  bool IsMatch(const Record& a, const Record& b) const {
+    return MatchProbability(a, b) >= 0.5;
+  }
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_MATCHING_MATCHER_H_

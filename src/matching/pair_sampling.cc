@@ -1,0 +1,118 @@
+#include "matching/pair_sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "blocking/id_overlap.h"
+#include "text/corporate.h"
+#include "text/similarity.h"
+
+namespace gralmatch {
+
+std::vector<LabeledPair> SamplePairs(const Dataset& dataset,
+                                     const GroupSplit& split, SplitPart part,
+                                     const PairSamplingOptions& options) {
+  Rng rng(options.seed);
+  std::vector<LabeledPair> out;
+
+  // Positives: complete graph of every group restricted to this part.
+  auto groups = dataset.truth.Groups();
+  std::vector<EntityId> entities;
+  entities.reserve(groups.size());
+  for (const auto& [e, members] : groups) entities.push_back(e);
+  std::sort(entities.begin(), entities.end());
+
+  std::vector<RecordPair> positives;
+  for (EntityId e : entities) {
+    const auto& members = groups[e];
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (split.part(members[i]) != part) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (split.part(members[j]) != part) continue;
+        positives.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  if (options.max_positives > 0 && positives.size() > options.max_positives) {
+    rng.Shuffle(&positives);
+    positives.resize(options.max_positives);
+    std::sort(positives.begin(), positives.end());
+  }
+  for (const auto& p : positives) out.push_back({p, 1});
+
+  // Random cross-source negatives from the same part.
+  std::vector<RecordId> part_records = split.RecordsIn(part);
+  std::unordered_set<RecordPair, RecordPairHash> seen(positives.begin(),
+                                                      positives.end());
+  size_t target =
+      static_cast<size_t>(options.negatives_per_positive *
+                          static_cast<double>(positives.size()));
+  size_t attempts = 0;
+  const size_t max_attempts = target * 20 + 100;
+  while (out.size() < positives.size() + target && attempts++ < max_attempts) {
+    if (part_records.size() < 2) break;
+    RecordId a = part_records[rng.Uniform(part_records.size())];
+    RecordId b = part_records[rng.Uniform(part_records.size())];
+    if (a == b) continue;
+    if (dataset.records.at(a).source() == dataset.records.at(b).source()) {
+      continue;
+    }
+    RecordPair pair(a, b);
+    if (dataset.truth.IsMatch(pair)) continue;
+    if (!seen.insert(pair).second) continue;
+    out.push_back({pair, 0});
+  }
+  return out;
+}
+
+namespace {
+
+/// True if the two records share any identifier value.
+bool ShareIdentifier(const Record& a, const Record& b) {
+  for (const auto& attr : IdentifierAttributes()) {
+    auto va = a.GetMulti(attr);
+    if (va.empty()) continue;
+    auto vb = b.GetMulti(attr);
+    for (const auto& x : va) {
+      for (const auto& y : vb) {
+        if (x == y) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// "Easily labelled" positive pair: matchable with a glance — shared
+/// identifier or near-identical canonical names.
+bool IsEasyPositive(const Record& a, const Record& b) {
+  if (ShareIdentifier(a, b)) return true;
+  std::string ca = CanonicalCompanyName(a.Get("name").empty()
+                                            ? a.Get("title")
+                                            : a.Get("name"));
+  std::string cb = CanonicalCompanyName(b.Get("name").empty()
+                                            ? b.Get("title")
+                                            : b.Get("name"));
+  if (ca.empty() || cb.empty()) return false;
+  return JaroWinkler(ca, cb) >= 0.95;
+}
+
+}  // namespace
+
+std::vector<LabeledPair> FilterEasyPairs(const Dataset& dataset,
+                                         const std::vector<LabeledPair>& pairs,
+                                         size_t max_pairs) {
+  std::vector<LabeledPair> out;
+  for (const auto& lp : pairs) {
+    if (max_pairs > 0 && out.size() >= max_pairs) break;
+    const Record& a = dataset.records.at(lp.pair.a);
+    const Record& b = dataset.records.at(lp.pair.b);
+    if (a.Get("_event") == "acquisition" || b.Get("_event") == "acquisition") {
+      continue;
+    }
+    if (lp.label == 1 && !IsEasyPositive(a, b)) continue;
+    out.push_back(lp);
+  }
+  return out;
+}
+
+}  // namespace gralmatch

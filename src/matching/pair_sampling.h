@@ -1,0 +1,49 @@
+#ifndef GRALMATCH_MATCHING_PAIR_SAMPLING_H_
+#define GRALMATCH_MATCHING_PAIR_SAMPLING_H_
+
+/// \file pair_sampling.h
+/// Construction of labelled fine-tuning pairs (§5.1.3): all positive pairs
+/// of a split plus randomly sampled negatives at a 5:1 negative:positive
+/// ratio, and the "-15K" reduced-training-set filter of §5.2.1.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace gralmatch {
+
+/// A labelled record pair.
+struct LabeledPair {
+  RecordPair pair;
+  int label = 0;  ///< 1 = Match, 0 = NoMatch
+};
+
+struct PairSamplingOptions {
+  double negatives_per_positive = 5.0;   ///< the paper's 5:1 ratio
+  /// Cap on positive pairs (0 = no cap). Negatives scale with the cap.
+  size_t max_positives = 0;
+  uint64_t seed = 17;
+};
+
+/// Sample training pairs from the records of one split part: every positive
+/// pair whose two records lie in `part`, plus random cross-source negatives
+/// from the same part.
+std::vector<LabeledPair> SamplePairs(const Dataset& dataset,
+                                     const GroupSplit& split, SplitPart part,
+                                     const PairSamplingOptions& options);
+
+/// The "-15K" filter of §5.2.1: keep only pairs whose records were not
+/// involved in an acquisition (metadata "_event") and that are matchable
+/// via identifier overlap — for securities, a shared identifier value; for
+/// companies/products, near-identical canonical names. Keeps at most
+/// `max_pairs` pairs (the paper keeps the first 10K/5K).
+std::vector<LabeledPair> FilterEasyPairs(const Dataset& dataset,
+                                         const std::vector<LabeledPair>& pairs,
+                                         size_t max_pairs);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_MATCHING_PAIR_SAMPLING_H_

@@ -1,0 +1,83 @@
+#include "matching/serializer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gralmatch {
+
+EncodedSequence PairSerializer::EncodePair(const Record& a, const Record& b,
+                                           const SubwordVocab& vocab,
+                                           size_t max_len) const {
+  std::vector<int32_t> ta, tb;
+  AppendRecordTokens(a, vocab, &ta);
+  AppendRecordTokens(b, vocab, &tb);
+
+  // Symmetric budget: [CLS] A [SEP] B with per-record cap. If one record is
+  // short, the other may use the slack.
+  const size_t budget = max_len > 2 ? max_len - 2 : 0;
+  size_t half = budget / 2;
+  size_t len_a = std::min(ta.size(), half);
+  size_t len_b = std::min(tb.size(), budget - len_a);
+  len_a = std::min(ta.size(), budget - len_b);
+
+  // Shared-token flags: a (non-special) token id occurring in both records.
+  std::unordered_set<int32_t> in_a(ta.begin(), ta.begin() + static_cast<long>(len_a));
+  std::unordered_set<int32_t> in_b(tb.begin(), tb.begin() + static_cast<long>(len_b));
+
+  EncodedSequence out;
+  out.tokens.reserve(2 + len_a + len_b);
+  auto push = [&](int32_t id, int8_t segment) {
+    bool shared = id >= SpecialTokens::kFirstFree && in_a.count(id) > 0 &&
+                  in_b.count(id) > 0;
+    out.tokens.push_back(id);
+    out.segments.push_back(segment);
+    out.shared.push_back(shared ? 1 : 0);
+  };
+  push(SpecialTokens::kCls, 0);
+  for (size_t i = 0; i < len_a; ++i) push(ta[i], 0);
+  push(SpecialTokens::kSep, 1);
+  for (size_t i = 0; i < len_b; ++i) push(tb[i], 1);
+  return out;
+}
+
+std::string PairSerializer::VocabText(const Record& record) const {
+  return record.AllText();
+}
+
+void PlainSerializer::AppendRecordTokens(const Record& record,
+                                         const SubwordVocab& vocab,
+                                         std::vector<int32_t>* out) const {
+  for (const auto& [name, value] : record.attributes()) {
+    if (value.empty() || (!name.empty() && name[0] == '_')) continue;
+    if (name == "issuer_ref") continue;  // internal link, not content
+    for (const auto& id : vocab.EncodeText(value)) out->push_back(id);
+  }
+}
+
+void DittoSerializer::AppendRecordTokens(const Record& record,
+                                         const SubwordVocab& vocab,
+                                         std::vector<int32_t>* out) const {
+  for (const auto& [name, value] : record.attributes()) {
+    if (value.empty() || (!name.empty() && name[0] == '_')) continue;
+    if (name == "issuer_ref") continue;
+    out->push_back(SpecialTokens::kCol);
+    for (const auto& id : vocab.EncodeText(name)) out->push_back(id);
+    out->push_back(SpecialTokens::kVal);
+    for (const auto& id : vocab.EncodeText(value)) out->push_back(id);
+  }
+}
+
+std::string DittoSerializer::VocabText(const Record& record) const {
+  std::string out;
+  for (const auto& [name, value] : record.attributes()) {
+    if (value.empty() || (!name.empty() && name[0] == '_')) continue;
+    if (name == "issuer_ref") continue;
+    out += name;
+    out.push_back(' ');
+    out += value;
+    out.push_back(' ');
+  }
+  return out;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,64 @@
+#ifndef GRALMATCH_MATCHING_SERIALIZER_H_
+#define GRALMATCH_MATCHING_SERIALIZER_H_
+
+/// \file serializer.h
+/// Record-pair serialization into token sequences. Two schemes from the
+/// paper: the plain value concatenation used by the DistilBERT variants and
+/// Ditto's tagged encoding ("[COL] city [VAL] Zurich"), which adds structure
+/// but consumes extra tokens — the root cause of DITTO's short-sequence
+/// failures on identifier-heavy records (§6.1).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "nn/transformer.h"
+#include "text/vocab.h"
+
+namespace gralmatch {
+
+/// \brief Strategy for encoding a record (and record pair) into token ids.
+class PairSerializer {
+ public:
+  virtual ~PairSerializer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Append the token encoding of one record (metadata '_' attributes are
+  /// always skipped).
+  virtual void AppendRecordTokens(const Record& record, const SubwordVocab& vocab,
+                                  std::vector<int32_t>* out) const = 0;
+
+  /// Encode "[CLS] A [SEP] B" truncated to max_len. Symmetric truncation:
+  /// each record gets roughly half the budget so that record B is never
+  /// fully pushed out by a long record A. The result carries segment ids
+  /// (A vs B) and shared-token flags (token present on both sides), which
+  /// the classifier consumes as input features (see EncodedSequence).
+  EncodedSequence EncodePair(const Record& a, const Record& b,
+                             const SubwordVocab& vocab, size_t max_len) const;
+
+  /// Text used for vocabulary training (token statistics of the encoding).
+  virtual std::string VocabText(const Record& record) const;
+};
+
+/// Plain serialization: attribute values separated by spaces.
+class PlainSerializer : public PairSerializer {
+ public:
+  std::string name() const override { return "plain"; }
+  void AppendRecordTokens(const Record& record, const SubwordVocab& vocab,
+                          std::vector<int32_t>* out) const override;
+};
+
+/// Ditto-style serialization: [COL] <attr name> [VAL] <value> per attribute.
+class DittoSerializer : public PairSerializer {
+ public:
+  std::string name() const override { return "ditto"; }
+  void AppendRecordTokens(const Record& record, const SubwordVocab& vocab,
+                          std::vector<int32_t>* out) const override;
+  std::string VocabText(const Record& record) const override;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_MATCHING_SERIALIZER_H_

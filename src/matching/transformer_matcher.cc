@@ -1,0 +1,100 @@
+#include "matching/transformer_matcher.h"
+
+#include <filesystem>
+
+namespace gralmatch {
+
+TransformerMatcher::TransformerMatcher(TransformerMatcherConfig config)
+    : config_(std::move(config)) {
+  if (config_.ditto_encoding) {
+    serializer_ = std::make_unique<DittoSerializer>();
+  } else {
+    serializer_ = std::make_unique<PlainSerializer>();
+  }
+}
+
+void TransformerMatcher::BuildVocab(const RecordTable& records) {
+  std::vector<std::string> docs;
+  docs.reserve(records.size());
+  for (const auto& rec : records.records()) {
+    docs.push_back(serializer_->VocabText(rec));
+  }
+  vocab_ = SubwordVocab();
+  vocab_.Train(docs, config_.vocab_max_words);
+
+  TransformerConfig model_config;
+  model_config.vocab_size = vocab_.size();
+  model_config.d_model = config_.d_model;
+  model_config.num_heads = config_.num_heads;
+  model_config.num_layers = config_.num_layers;
+  model_config.d_ff = config_.d_ff;
+  model_config.max_seq_len = config_.max_seq_len;
+  model_config.num_classes = 2;
+  model_config.seed = config_.seed;
+  model_ = std::make_unique<TransformerClassifier>(model_config);
+}
+
+std::vector<TrainExample> TransformerMatcher::MakeExamples(
+    const RecordTable& records, const std::vector<LabeledPair>& pairs) const {
+  std::vector<TrainExample> out;
+  out.reserve(pairs.size());
+  for (const auto& lp : pairs) {
+    TrainExample ex;
+    EncodedSequence seq =
+        serializer_->EncodePair(records.at(lp.pair.a), records.at(lp.pair.b),
+                                vocab_, config_.max_seq_len);
+    ex.tokens = std::move(seq.tokens);
+    ex.segments = std::move(seq.segments);
+    ex.shared = std::move(seq.shared);
+    ex.label = lp.label;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+TrainResult TransformerMatcher::FineTune(const RecordTable& records,
+                                         const std::vector<LabeledPair>& train,
+                                         const std::vector<LabeledPair>& val) {
+  auto train_examples = MakeExamples(records, train);
+  auto val_examples = MakeExamples(records, val);
+  Trainer trainer(config_.trainer);
+  return trainer.Fit(model_.get(), train_examples, val_examples);
+}
+
+double TransformerMatcher::MatchProbability(const Record& a,
+                                            const Record& b) const {
+  EncodedSequence seq = serializer_->EncodePair(a, b, vocab_, config_.max_seq_len);
+  auto probs = model_->Predict(seq);
+  return probs[1];
+}
+
+Status TransformerMatcher::Save(const std::string& dir) const {
+  if (model_ == nullptr) return Status::Internal("matcher not initialized");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+  GRALMATCH_RETURN_NOT_OK(vocab_.Save(dir + "/vocab.txt"));
+  GRALMATCH_RETURN_NOT_OK(model_->Save(dir + "/model.bin"));
+  return Status::OK();
+}
+
+Status TransformerMatcher::Load(const std::string& dir) {
+  GRALMATCH_RETURN_NOT_OK(vocab_.Load(dir + "/vocab.txt"));
+  if (!vocab_.trained()) {
+    return Status::InvalidArgument("empty vocabulary in " + dir);
+  }
+  TransformerConfig model_config;
+  model_config.vocab_size = vocab_.size();
+  model_config.d_model = config_.d_model;
+  model_config.num_heads = config_.num_heads;
+  model_config.num_layers = config_.num_layers;
+  model_config.d_ff = config_.d_ff;
+  model_config.max_seq_len = config_.max_seq_len;
+  model_config.num_classes = 2;
+  model_config.seed = config_.seed;
+  model_ = std::make_unique<TransformerClassifier>(model_config);
+  GRALMATCH_RETURN_NOT_OK(model_->Load(dir + "/model.bin"));
+  return Status::OK();
+}
+
+}  // namespace gralmatch

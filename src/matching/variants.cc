@@ -1,0 +1,49 @@
+#include "matching/variants.h"
+
+namespace gralmatch {
+
+std::string VariantDisplayName(ModelVariant variant) {
+  switch (variant) {
+    case ModelVariant::kDitto128: return "DITTO (128)";
+    case ModelVariant::kDitto256: return "DITTO (256)";
+    case ModelVariant::kDistilBert128All: return "DistilBERT (128)-ALL";
+    case ModelVariant::kDistilBert128_15K: return "DistilBERT (128)-15K";
+  }
+  return "unknown";
+}
+
+bool VariantUsesReducedTraining(ModelVariant variant) {
+  return variant == ModelVariant::kDistilBert128_15K;
+}
+
+TransformerMatcherConfig MakeVariantConfig(ModelVariant variant, uint64_t seed,
+                                           size_t short_seq, size_t long_seq) {
+  TransformerMatcherConfig config;
+  config.display_name = VariantDisplayName(variant);
+  config.seed = seed;
+  switch (variant) {
+    case ModelVariant::kDitto128:
+      config.ditto_encoding = true;
+      config.max_seq_len = short_seq;
+      break;
+    case ModelVariant::kDitto256:
+      config.ditto_encoding = true;
+      config.max_seq_len = long_seq;
+      break;
+    case ModelVariant::kDistilBert128All:
+    case ModelVariant::kDistilBert128_15K:
+      config.ditto_encoding = false;
+      config.max_seq_len = short_seq;
+      break;
+  }
+  return config;
+}
+
+const std::vector<ModelVariant>& AllModelVariants() {
+  static const std::vector<ModelVariant> kVariants = {
+      ModelVariant::kDitto128, ModelVariant::kDitto256,
+      ModelVariant::kDistilBert128All, ModelVariant::kDistilBert128_15K};
+  return kVariants;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,42 @@
+#ifndef GRALMATCH_MATCHING_VARIANTS_H_
+#define GRALMATCH_MATCHING_VARIANTS_H_
+
+/// \file variants.h
+/// The model variants evaluated in the paper's Tables 3 and 4 (§5.2),
+/// mapped to transformer-matcher configurations. The paper's 128/256-token
+/// limits scale to 48/96 subword tokens here (the CPU-scale model; the
+/// tag-vs-truncation interaction under study is preserved).
+
+#include <string>
+#include <vector>
+
+#include "matching/transformer_matcher.h"
+
+namespace gralmatch {
+
+/// Model rows of Tables 3 and 4.
+enum class ModelVariant {
+  kDitto128,           ///< Ditto encoding, short sequences
+  kDitto256,           ///< Ditto encoding, long sequences
+  kDistilBert128All,   ///< plain encoding, short sequences, all train pairs
+  kDistilBert128_15K,  ///< plain encoding, reduced "easy" training set
+};
+
+/// Paper display name ("DITTO (128)", "DistilBERT (128)-ALL", ...).
+std::string VariantDisplayName(ModelVariant variant);
+
+/// True for the variant trained on the reduced (filtered) training set.
+bool VariantUsesReducedTraining(ModelVariant variant);
+
+/// Matcher configuration for a variant. `short_seq`/`long_seq` give the
+/// scaled 128/256-token budgets.
+TransformerMatcherConfig MakeVariantConfig(ModelVariant variant, uint64_t seed,
+                                           size_t short_seq = 48,
+                                           size_t long_seq = 96);
+
+/// All four variants in table order.
+const std::vector<ModelVariant>& AllModelVariants();
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_MATCHING_VARIANTS_H_

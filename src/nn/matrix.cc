@@ -1,0 +1,77 @@
+#include "nn/matrix.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gralmatch {
+
+void Matrix::Zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
+
+void Matrix::FillNormal(Rng* rng, float std) {
+  for (auto& x : data_) x = static_cast<float>(rng->Normal()) * std;
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  *out = Matrix(a.rows(), b.cols());
+  MatMulAcc(a, b, out);
+}
+
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  assert(out->rows() == a.rows() && out->cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    float* out_row = out->row(i);
+    const float* a_row = a.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.row(p);
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  *out = Matrix(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a.row(p);
+    const float* b_row = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out->row(i);
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulNT(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  *out = Matrix(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* out_row = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b.row(j);
+      float sum = 0.0f;
+      for (size_t p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
+      out_row[j] = sum;
+    }
+  }
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,59 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace gralmatch {
+
+void Parameter::Init(const std::string& param_name, size_t rows, size_t cols,
+                     Rng* rng, float std) {
+  name = param_name;
+  value = Matrix(rows, cols);
+  grad = Matrix(rows, cols);
+  m = Matrix(rows, cols);
+  v = Matrix(rows, cols);
+  if (std > 0.0f) {
+    value.FillNormal(rng, std);
+  } else if (std < 0.0f) {
+    for (size_t i = 0; i < value.size(); ++i) value.data()[i] = 1.0f;
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Parameter*>& params) {
+  ++t_;
+
+  if (options_.clip_norm > 0.0f) {
+    double norm_sq = 0.0;
+    for (Parameter* p : params) {
+      const float* g = p->grad.data();
+      for (size_t i = 0; i < p->size(); ++i) {
+        norm_sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm > options_.clip_norm) {
+      float scale = static_cast<float>(options_.clip_norm / norm);
+      for (Parameter* p : params) p->grad.Scale(scale);
+    }
+  }
+
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (Parameter* p : params) {
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = p->m.data();
+    float* v = p->v.data();
+    for (size_t i = 0; i < p->size(); ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
+      float m_hat = m[i] / bc1;
+      float v_hat = v[i] / bc2;
+      w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace gralmatch

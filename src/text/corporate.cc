@@ -1,0 +1,48 @@
+#include "text/corporate.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "text/normalize.h"
+
+namespace gralmatch {
+
+const std::vector<std::string>& CorporateTerms() {
+  static const std::vector<std::string> kTerms = {
+      "inc",  "incorporated", "ltd",  "limited", "corp", "corporation",
+      "llc",  "plc",          "ag",   "sa",      "gmbh", "co",
+      "company", "holdings",  "group", "industries", "international",
+      "technologies", "solutions", "systems", "partners", "ventures"};
+  return kTerms;
+}
+
+bool IsCorporateTerm(std::string_view token) {
+  static const std::unordered_set<std::string> kSet(CorporateTerms().begin(),
+                                                    CorporateTerms().end());
+  return kSet.count(ToLower(token)) > 0;
+}
+
+std::string MakeAcronym(std::string_view name) {
+  std::string acronym;
+  size_t contributing = 0;
+  for (const auto& tok : TokenizeWords(name)) {
+    if (IsCorporateTerm(tok) || IsStopword(tok)) continue;
+    acronym.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(tok[0]))));
+    ++contributing;
+  }
+  if (contributing < 2) return "";
+  return acronym;
+}
+
+std::string CanonicalCompanyName(std::string_view name) {
+  std::vector<std::string> kept;
+  for (const auto& tok : TokenizeWords(name)) {
+    if (IsCorporateTerm(tok)) continue;
+    kept.push_back(tok);
+  }
+  return Join(kept, " ");
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,32 @@
+#ifndef GRALMATCH_TEXT_CORPORATE_H_
+#define GRALMATCH_TEXT_CORPORATE_H_
+
+/// \file corporate.h
+/// Corporate-naming utilities shared by the data generator and the heuristic
+/// matchers: legal-form term tables, acronym construction, and name
+/// canonicalization that strips legal forms.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gralmatch {
+
+/// Legal-form / corporate terms ("Inc", "Ltd", "Corp", ...).
+const std::vector<std::string>& CorporateTerms();
+
+/// True if the (normalized) token is a corporate term.
+bool IsCorporateTerm(std::string_view token);
+
+/// Acronym of the non-corporate, non-stopword tokens of a name:
+/// "Crowd Strike Platforms Inc" -> "CSP". Names with fewer than two
+/// contributing tokens return an empty string (acronyms would be ambiguous).
+std::string MakeAcronym(std::string_view name);
+
+/// Name with corporate terms removed and whitespace re-collapsed,
+/// lower-cased: "CrowdStrike Holdings, Inc." -> "crowdstrike holdings".
+std::string CanonicalCompanyName(std::string_view name);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_TEXT_CORPORATE_H_

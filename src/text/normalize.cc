@@ -1,0 +1,57 @@
+#include "text/normalize.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace gralmatch {
+
+std::string NormalizeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool last_space = true;
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+      last_space = false;
+    } else if (!last_space) {
+      out.push_back(' ');
+      last_space = true;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view s) {
+  std::string norm = NormalizeText(s);
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= norm.size(); ++i) {
+    if (i == norm.size() || norm[i] == ' ') {
+      if (i > start) out.emplace_back(norm.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool IsStopword(std::string_view token) {
+  static const std::unordered_set<std::string> kStopwords = {
+      "a",   "an",  "and", "the", "of",  "in",  "on",  "for", "to",  "by",
+      "at",  "is",  "are", "was", "be",  "as",  "it",  "its", "with", "that",
+      "this", "from", "or", "we",  "our", "their"};
+  return kStopwords.count(std::string(token)) > 0;
+}
+
+std::vector<std::string> TokenizeContentWords(std::string_view s) {
+  std::vector<std::string> toks = TokenizeWords(s);
+  std::vector<std::string> out;
+  out.reserve(toks.size());
+  for (auto& t : toks) {
+    if (!IsStopword(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace gralmatch

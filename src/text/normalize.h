@@ -1,0 +1,30 @@
+#ifndef GRALMATCH_TEXT_NORMALIZE_H_
+#define GRALMATCH_TEXT_NORMALIZE_H_
+
+/// \file normalize.h
+/// Text normalization and word tokenization used by blocking, TF-IDF and the
+/// transformer tokenizer. Normalization is intentionally lossy: matching is
+/// about token statistics, not display text.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gralmatch {
+
+/// Lower-case, map punctuation to spaces, collapse whitespace runs.
+/// Digits and ASCII letters are kept; everything else becomes a separator.
+std::string NormalizeText(std::string_view s);
+
+/// NormalizeText followed by whitespace splitting.
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+/// Tokens of TokenizeWords with common stopwords removed.
+std::vector<std::string> TokenizeContentWords(std::string_view s);
+
+/// True for a small closed class of English stopwords.
+bool IsStopword(std::string_view token);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_TEXT_NORMALIZE_H_

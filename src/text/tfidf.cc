@@ -1,0 +1,74 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/normalize.h"
+
+namespace gralmatch {
+
+float SparseVector::Norm() const {
+  double s = 0.0;
+  for (const auto& [id, w] : entries) s += static_cast<double>(w) * w;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else if (a.entries[i].first > b.entries[j].first) {
+      ++j;
+    } else {
+      dot += static_cast<double>(a.entries[i].second) * b.entries[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  float na = a.Norm(), nb = b.Norm();
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return static_cast<float>(dot / (static_cast<double>(na) * nb));
+}
+
+void TfidfVectorizer::Fit(const std::vector<std::string>& docs, size_t min_df) {
+  std::unordered_map<std::string, uint32_t> df;
+  for (const auto& doc : docs) {
+    auto toks = TokenizeWords(doc);
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const auto& t : toks) ++df[t];
+  }
+  // Deterministic feature ordering.
+  std::vector<std::pair<std::string, uint32_t>> items(df.begin(), df.end());
+  std::sort(items.begin(), items.end());
+  const double n = static_cast<double>(docs.size());
+  for (const auto& [tok, d] : items) {
+    if (d < min_df) continue;
+    int32_t id = static_cast<int32_t>(idf_.size());
+    feature_ids_.emplace(tok, id);
+    idf_.push_back(static_cast<float>(std::log((1.0 + n) / (1.0 + d)) + 1.0));
+  }
+}
+
+SparseVector TfidfVectorizer::Transform(std::string_view doc) const {
+  std::unordered_map<int32_t, float> tf;
+  for (const auto& t : TokenizeWords(doc)) {
+    auto it = feature_ids_.find(t);
+    if (it != feature_ids_.end()) tf[it->second] += 1.0f;
+  }
+  SparseVector out;
+  out.entries.reserve(tf.size());
+  for (const auto& [id, f] : tf) {
+    out.entries.emplace_back(id, f * idf_[static_cast<size_t>(id)]);
+  }
+  std::sort(out.entries.begin(), out.entries.end());
+  float norm = out.Norm();
+  if (norm > 0.0f) {
+    for (auto& [id, w] : out.entries) w /= norm;
+  }
+  return out;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,263 @@
+// Tests for the blocking module: candidate-set provenance, ID Overlap
+// (securities and companies modes), Token Overlap and Issuer Match.
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocker.h"
+#include "blocking/id_overlap.h"
+#include "blocking/issuer_match.h"
+#include "blocking/token_overlap.h"
+
+namespace gralmatch {
+namespace {
+
+TEST(CandidateSetTest, DeduplicatesAndUnionsProvenance) {
+  CandidateSet set;
+  set.Add(RecordPair(1, 2), kBlockerIdOverlap);
+  set.Add(RecordPair(2, 1), kBlockerTokenOverlap);  // same pair
+  set.Add(RecordPair(3, 4), kBlockerTokenOverlap);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.ProvenanceOf(RecordPair(1, 2)),
+            kBlockerIdOverlap | kBlockerTokenOverlap);
+  EXPECT_EQ(set.ProvenanceOf(RecordPair(3, 4)),
+            static_cast<uint32_t>(kBlockerTokenOverlap));
+  EXPECT_EQ(set.ProvenanceOf(RecordPair(9, 10)), 0u);
+
+  auto v = set.ToVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].pair, RecordPair(1, 2));  // deterministic order
+}
+
+TEST(CandidateSetTest, MergeCombinesSets) {
+  CandidateSet a, b;
+  a.Add(RecordPair(0, 1), kBlockerIdOverlap);
+  b.Add(RecordPair(0, 1), kBlockerIssuerMatch);
+  b.Add(RecordPair(2, 3), kBlockerIdOverlap);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.ProvenanceOf(RecordPair(0, 1)),
+            kBlockerIdOverlap | kBlockerIssuerMatch);
+}
+
+Dataset MakeSecuritiesDataset() {
+  Dataset ds;
+  ds.name = "securities";
+  auto add = [&](SourceId src, const char* isin, const char* cusip,
+                 EntityId entity) {
+    Record rec(src, RecordKind::kSecurity);
+    if (isin) rec.Set("isin", isin);
+    if (cusip) rec.Set("cusip", cusip);
+    RecordId id = ds.records.Add(std::move(rec));
+    ds.truth.Assign(id, entity);
+    return id;
+  };
+  add(0, "US1", "C1", 100);      // 0
+  add(1, "US1", nullptr, 100);   // 1: shares ISIN with 0
+  add(2, nullptr, "C1", 100);    // 2: shares CUSIP with 0
+  add(0, "US2", nullptr, 200);   // 3
+  add(1, "US2", nullptr, 200);   // 4: shares ISIN with 3
+  add(1, "US9", nullptr, 300);   // 5: no overlaps
+  return ds;
+}
+
+TEST(IdOverlapTest, SecuritiesModeFindsSharedIdentifiers) {
+  Dataset ds = MakeSecuritiesDataset();
+  CandidateSet out;
+  IdOverlapBlocker blocker;
+  blocker.AddCandidates(ds, &out);
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 1)),
+            static_cast<uint32_t>(kBlockerIdOverlap));
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 2)),
+            static_cast<uint32_t>(kBlockerIdOverlap));
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(3, 4)),
+            static_cast<uint32_t>(kBlockerIdOverlap));
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(1, 2)), 0u) << "no shared value";
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 5)), 0u);
+}
+
+TEST(IdOverlapTest, SameSourcePairsExcluded) {
+  Dataset ds;
+  Record a(0, RecordKind::kSecurity);
+  a.Set("isin", "X");
+  Record b(0, RecordKind::kSecurity);  // same source
+  b.Set("isin", "X");
+  ds.truth.Assign(ds.records.Add(std::move(a)), 1);
+  ds.truth.Assign(ds.records.Add(std::move(b)), 1);
+  CandidateSet out;
+  IdOverlapBlocker blocker;
+  blocker.AddCandidates(ds, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(IdOverlapTest, MultiValuedIdentifiersMatch) {
+  Dataset ds;
+  Record a(0, RecordKind::kSecurity);
+  a.Set("isin", "A|B");
+  Record b(1, RecordKind::kSecurity);
+  b.Set("isin", "B|C");
+  ds.truth.Assign(ds.records.Add(std::move(a)), 1);
+  ds.truth.Assign(ds.records.Add(std::move(b)), 1);
+  CandidateSet out;
+  IdOverlapBlocker blocker;
+  blocker.AddCandidates(ds, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(IdOverlapTest, CompaniesModeJoinsThroughSecurities) {
+  // Companies 0 (src 0) and 1 (src 1) issue securities sharing an ISIN;
+  // company 2 (src 2) does not.
+  Dataset companies;
+  companies.truth.Assign(
+      companies.records.Add(Record(0, RecordKind::kCompany)), 1);
+  companies.truth.Assign(
+      companies.records.Add(Record(1, RecordKind::kCompany)), 1);
+  companies.truth.Assign(
+      companies.records.Add(Record(2, RecordKind::kCompany)), 2);
+
+  RecordTable securities;
+  auto add_sec = [&](SourceId src, const char* isin, RecordId issuer) {
+    Record rec(src, RecordKind::kSecurity);
+    rec.Set("isin", isin);
+    rec.Set("issuer_ref", std::to_string(issuer));
+    securities.Add(std::move(rec));
+  };
+  add_sec(0, "SHARED", 0);
+  add_sec(1, "SHARED", 1);
+  add_sec(2, "OTHER", 2);
+
+  CandidateSet out;
+  IdOverlapBlocker blocker(&securities);
+  blocker.AddCandidates(companies, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_NE(out.ProvenanceOf(RecordPair(0, 1)), 0u);
+}
+
+Dataset MakeTextDataset() {
+  Dataset ds;
+  auto add = [&](SourceId src, const char* name, EntityId entity) {
+    Record rec(src, RecordKind::kCompany);
+    rec.Set("name", name);
+    RecordId id = ds.records.Add(std::move(rec));
+    ds.truth.Assign(id, entity);
+    return id;
+  };
+  add(0, "Crowd Strike Platforms", 1);   // 0
+  add(1, "Crowd Strike Platforms Inc", 1);  // 1
+  add(2, "Crowd Street Properties", 2);  // 2
+  add(0, "Quantum Energy Resources", 3); // 3
+  add(1, "Quantum Energy Resources Ltd", 3);  // 4
+  add(2, "Totally Unrelated Newco", 4);  // 5
+  return ds;
+}
+
+TEST(TokenOverlapTest, FindsTextAlignedPairs) {
+  Dataset ds = MakeTextDataset();
+  TokenOverlapBlocker::Options opts;
+  opts.top_n = 3;
+  opts.min_overlap = 2;
+  opts.max_token_df = 1.0;  // tiny dataset: keep all tokens
+  TokenOverlapBlocker blocker(opts);
+  CandidateSet out;
+  blocker.AddCandidates(ds, &out);
+  EXPECT_NE(out.ProvenanceOf(RecordPair(0, 1)), 0u);
+  EXPECT_NE(out.ProvenanceOf(RecordPair(3, 4)), 0u);
+  // "Crowd" overlap alone (1 token) must not qualify at min_overlap=2...
+  // 0 and 2 share "crowd" only -> excluded.
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 2)), 0u);
+  // The isolated record pairs with nothing.
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 5)), 0u);
+}
+
+TEST(TokenOverlapTest, TopNLimitsCandidatesPerRecord) {
+  // One record overlapping with many others across sources.
+  Dataset ds;
+  auto add = [&](SourceId src, const std::string& name) {
+    Record rec(src, RecordKind::kCompany);
+    rec.Set("name", name);
+    RecordId id = ds.records.Add(std::move(rec));
+    ds.truth.Assign(id, id);
+    return id;
+  };
+  add(0, "alpha beta gamma");
+  for (int i = 0; i < 10; ++i) {
+    add(1, "alpha beta gamma delta" + std::to_string(i));
+  }
+  TokenOverlapBlocker::Options opts;
+  opts.top_n = 4;
+  opts.min_overlap = 2;
+  opts.max_token_df = 1.0;
+  TokenOverlapBlocker blocker(opts);
+  CandidateSet out;
+  blocker.AddCandidates(ds, &out);
+  // Record 0 keeps at most top_n partners; partners also keep record 0, so
+  // the total stays bounded by the union (each of the 10 keeps record 0 as
+  // its only cross-source partner).
+  size_t with_zero = 0;
+  for (const auto& cand : out.ToVector()) {
+    if (cand.pair.a == 0) ++with_zero;
+  }
+  EXPECT_EQ(with_zero, 10u);  // symmetric direction keeps them
+}
+
+TEST(TokenOverlapTest, SameSourceNeverPaired) {
+  Dataset ds;
+  auto add = [&](SourceId src, const char* name, EntityId e) {
+    Record rec(src, RecordKind::kCompany);
+    rec.Set("name", name);
+    ds.truth.Assign(ds.records.Add(std::move(rec)), e);
+  };
+  add(0, "same tokens here", 1);
+  add(0, "same tokens here", 1);
+  TokenOverlapBlocker::Options opts;
+  opts.max_token_df = 1.0;
+  TokenOverlapBlocker blocker(opts);
+  CandidateSet out;
+  blocker.AddCandidates(ds, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(IssuerMatchTest, PairsSecuritiesOfMatchedIssuers) {
+  // Companies 0, 1, 2; 0 and 1 are in the same (previously matched) group.
+  std::vector<int64_t> company_group = {5, 5, 6};
+
+  Dataset securities;
+  auto add_sec = [&](SourceId src, RecordId issuer, EntityId entity) {
+    Record rec(src, RecordKind::kSecurity);
+    rec.Set("name", "Common Stock");
+    rec.Set("issuer_ref", std::to_string(issuer));
+    RecordId id = securities.records.Add(std::move(rec));
+    securities.truth.Assign(id, entity);
+    return id;
+  };
+  add_sec(0, 0, 100);  // 0 issued by company 0
+  add_sec(1, 1, 100);  // 1 issued by company 1 (same group)
+  add_sec(2, 2, 200);  // 2 issued by company 2 (other group)
+
+  IssuerMatchBlocker blocker(&company_group);
+  CandidateSet out;
+  blocker.AddCandidates(securities, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.ProvenanceOf(RecordPair(0, 1)),
+            static_cast<uint32_t>(kBlockerIssuerMatch));
+}
+
+TEST(IssuerMatchTest, UngroupedAndMissingIssuersSkipped) {
+  std::vector<int64_t> company_group = {-1, -1};
+  Dataset securities;
+  Record a(0, RecordKind::kSecurity);
+  a.Set("issuer_ref", "0");
+  Record b(1, RecordKind::kSecurity);
+  b.Set("issuer_ref", "1");
+  Record c(1, RecordKind::kSecurity);  // no issuer_ref at all
+  securities.truth.Assign(securities.records.Add(std::move(a)), 1);
+  securities.truth.Assign(securities.records.Add(std::move(b)), 1);
+  securities.truth.Assign(securities.records.Add(std::move(c)), 1);
+
+  IssuerMatchBlocker blocker(&company_group);
+  CandidateSet out;
+  blocker.AddCandidates(securities, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gralmatch

@@ -1,0 +1,213 @@
+// Tests for the data model: records, ground truth, group-wise splits and
+// CSV round-trips.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "data/record.h"
+
+namespace gralmatch {
+namespace {
+
+TEST(RecordTest, SetGetOverwriteKeepsPosition) {
+  Record rec(1, RecordKind::kCompany);
+  rec.Set("name", "Acme");
+  rec.Set("city", "Zurich");
+  rec.Set("name", "Acme Corp");
+  ASSERT_EQ(rec.attributes().size(), 2u);
+  EXPECT_EQ(rec.attributes()[0].first, "name");
+  EXPECT_EQ(rec.Get("name"), "Acme Corp");
+  EXPECT_EQ(rec.Get("missing"), "");
+  EXPECT_TRUE(rec.Has("city"));
+  EXPECT_FALSE(rec.Has("missing"));
+}
+
+TEST(RecordTest, EraseRemovesAttribute) {
+  Record rec(0, RecordKind::kSecurity);
+  rec.Set("isin", "X");
+  rec.Erase("isin");
+  EXPECT_FALSE(rec.Has("isin"));
+  rec.Erase("isin");  // idempotent
+}
+
+TEST(RecordTest, MultiValuedAttributes) {
+  Record rec(0, RecordKind::kSecurity);
+  rec.AddMulti("isin", "US1");
+  rec.AddMulti("isin", "US2");
+  rec.AddMulti("isin", "US1");  // duplicate ignored
+  rec.AddMulti("isin", "");     // empty ignored
+  EXPECT_EQ(rec.GetMulti("isin"), (std::vector<std::string>{"US1", "US2"}));
+  EXPECT_TRUE(rec.GetMulti("cusip").empty());
+}
+
+TEST(RecordTest, AllTextSkipsMetadataAndEmpty) {
+  Record rec(0, RecordKind::kCompany);
+  rec.Set("name", "Acme");
+  rec.Set("_event", "acquisition");
+  rec.Set("empty", "");
+  rec.Set("city", "Basel");
+  EXPECT_EQ(rec.AllText(), "Acme Basel");
+}
+
+TEST(RecordTableTest, AddAndSourceCount) {
+  RecordTable table;
+  EXPECT_TRUE(table.empty());
+  RecordId a = table.Add(Record(0, RecordKind::kCompany));
+  RecordId b = table.Add(Record(2, RecordKind::kCompany));
+  table.Add(Record(2, RecordKind::kCompany));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.NumSources(), 2u);
+  table.mutable_at(a)->Set("name", "X");
+  EXPECT_EQ(table.at(a).Get("name"), "X");
+}
+
+GroundTruth MakeTruth() {
+  GroundTruth truth;
+  truth.Assign(0, 10);
+  truth.Assign(1, 10);
+  truth.Assign(2, 10);
+  truth.Assign(3, 20);
+  truth.Assign(4, 20);
+  truth.Assign(5, kInvalidEntity);
+  return truth;
+}
+
+TEST(GroundTruthTest, MatchSemantics) {
+  GroundTruth truth = MakeTruth();
+  EXPECT_TRUE(truth.IsMatch(0, 1));
+  EXPECT_FALSE(truth.IsMatch(0, 3));
+  // Unassigned records never match, not even themselves.
+  EXPECT_FALSE(truth.IsMatch(5, 5));
+  EXPECT_TRUE(truth.IsMatch(RecordPair(4, 3)));
+}
+
+TEST(GroundTruthTest, GroupsAndCounts) {
+  GroundTruth truth = MakeTruth();
+  auto groups = truth.Groups();
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(truth.NumEntities(), 2u);
+  EXPECT_EQ(groups[10].size(), 3u);
+  // C(3,2) + C(2,2) = 3 + 1.
+  EXPECT_EQ(truth.NumTrueMatches(), 4u);
+}
+
+TEST(GroundTruthTest, AllTruePairsCompleteGraphs) {
+  GroundTruth truth = MakeTruth();
+  auto pairs = truth.AllTruePairs();
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], RecordPair(0, 1));
+  EXPECT_EQ(pairs[3], RecordPair(3, 4));
+}
+
+TEST(RecordPairTest, NormalizesOrder) {
+  RecordPair p(5, 2);
+  EXPECT_EQ(p.a, 2);
+  EXPECT_EQ(p.b, 5);
+  EXPECT_EQ(p, RecordPair(2, 5));
+  EXPECT_LT(RecordPair(1, 9), RecordPair(2, 3));
+  RecordPairHash hash;
+  EXPECT_EQ(hash(RecordPair(5, 2)), hash(RecordPair(2, 5)));
+}
+
+TEST(SplitTest, FractionsRoughlyRespected) {
+  GroundTruth truth;
+  for (RecordId r = 0; r < 1000; ++r) {
+    truth.Assign(r, r / 4);  // 250 groups of 4
+  }
+  Rng rng(1);
+  GroupSplit split = SplitByGroups(truth, &rng);
+  size_t train = split.RecordsIn(SplitPart::kTrain).size();
+  size_t val = split.RecordsIn(SplitPart::kValidation).size();
+  size_t test = split.RecordsIn(SplitPart::kTest).size();
+  EXPECT_EQ(train + val + test, 1000u);
+  EXPECT_NEAR(train, 600.0, 40.0);
+  EXPECT_NEAR(val, 200.0, 40.0);
+  EXPECT_NEAR(test, 200.0, 40.0);
+}
+
+TEST(SplitTest, GroupsNeverStraddleSplits) {
+  GroundTruth truth;
+  Rng seed_rng(3);
+  // Variable group sizes.
+  RecordId next = 0;
+  for (EntityId e = 0; e < 200; ++e) {
+    size_t size = 1 + seed_rng.Uniform(6);
+    for (size_t k = 0; k < size; ++k) truth.Assign(next++, e);
+  }
+  Rng rng(2);
+  GroupSplit split = SplitByGroups(truth, &rng);
+  auto groups = truth.Groups();
+  for (const auto& [e, members] : groups) {
+    std::set<SplitPart> parts;
+    for (RecordId r : members) parts.insert(split.part(r));
+    EXPECT_EQ(parts.size(), 1u) << "entity " << e << " straddles splits";
+  }
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto rows = ParseCsv("a,\"b,c\",\"d\"\"e\"\nf,,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b,c", "d\"e"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"f", "", ""}));
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto rows = ParseCsv("x,\"line1\nline2\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], "line1\nline2");
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a,\"unterminated\n").ok());
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  std::string csv = WriteCsv({{"plain", "with,comma", "with\"quote"}});
+  EXPECT_EQ(csv, "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, RecordsRoundTrip) {
+  RecordTable table;
+  GroundTruth truth;
+  Record r1(0, RecordKind::kCompany);
+  r1.Set("name", "Acme, Inc.");
+  r1.Set("city", "Zurich");
+  truth.Assign(table.Add(std::move(r1)), 7);
+  Record r2(3, RecordKind::kCompany);
+  r2.Set("name", "Beta \"B\"");
+  r2.Set("region", "Bavaria");
+  truth.Assign(table.Add(std::move(r2)), 8);
+
+  std::string path = ::testing::TempDir() + "/records_roundtrip.csv";
+  ASSERT_TRUE(WriteRecordsCsv(path, table, &truth).ok());
+
+  RecordTable loaded;
+  GroundTruth loaded_truth;
+  ASSERT_TRUE(
+      ReadRecordsCsv(path, RecordKind::kCompany, &loaded, &loaded_truth).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at(0).Get("name"), "Acme, Inc.");
+  EXPECT_EQ(loaded.at(0).source(), 0);
+  EXPECT_EQ(loaded.at(1).Get("region"), "Bavaria");
+  EXPECT_EQ(loaded.at(1).source(), 3);
+  EXPECT_EQ(loaded_truth.entity_of(0), 7);
+  EXPECT_EQ(loaded_truth.entity_of(1), 8);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  RecordTable table;
+  EXPECT_FALSE(ReadRecordsCsv("/nonexistent/nope.csv", RecordKind::kCompany,
+                              &table, nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gralmatch

@@ -1,0 +1,156 @@
+// Tests for the evaluation module: pairwise and group PRF metrics, the
+// Cluster Purity Score and the table reporter.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace gralmatch {
+namespace {
+
+GroundTruth TwoGroupsTruth() {
+  GroundTruth truth;
+  // Entity 0: records 0,1,2. Entity 1: records 3,4. Record 5 unassigned is
+  // avoided here (kInvalidEntity semantics tested separately).
+  truth.Assign(0, 0);
+  truth.Assign(1, 0);
+  truth.Assign(2, 0);
+  truth.Assign(3, 1);
+  truth.Assign(4, 1);
+  return truth;
+}
+
+TEST(PairwisePrfTest, CountsAgainstAllTrueMatches) {
+  GroundTruth truth = TwoGroupsTruth();
+  // 4 true matches exist: (0,1),(0,2),(1,2),(3,4).
+  std::vector<RecordPair> predicted = {RecordPair(0, 1), RecordPair(3, 4),
+                                       RecordPair(0, 3)};
+  PrfMetrics m = PairwisePrf(predicted, truth);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 2u);
+  EXPECT_NEAR(m.Precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.Recall(), 0.5, 1e-9);
+  EXPECT_NEAR(m.F1(), 2.0 * (2.0 / 3.0) * 0.5 / ((2.0 / 3.0) + 0.5), 1e-9);
+}
+
+TEST(PairwisePrfTest, EmptyPredictions) {
+  GroundTruth truth = TwoGroupsTruth();
+  PrfMetrics m = PairwisePrf({}, truth);
+  EXPECT_EQ(m.tp, 0u);
+  EXPECT_EQ(m.fp, 0u);
+  EXPECT_EQ(m.fn, 4u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+TEST(GroupPrfTest, PerfectGrouping) {
+  GroundTruth truth = TwoGroupsTruth();
+  std::vector<std::vector<NodeId>> components = {{0, 1, 2}, {3, 4}};
+  PrfMetrics m = GroupPrf(components, truth);
+  EXPECT_EQ(m.tp, 4u);
+  EXPECT_EQ(m.fp, 0u);
+  EXPECT_EQ(m.fn, 0u);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(GroupPrfTest, GluedComponentCountsClosure) {
+  GroundTruth truth = TwoGroupsTruth();
+  // One glued component of all 5 records: C(5,2)=10 implied matches,
+  // 4 true + 6 false.
+  std::vector<std::vector<NodeId>> components = {{0, 1, 2, 3, 4}};
+  PrfMetrics m = GroupPrf(components, truth);
+  EXPECT_EQ(m.tp, 4u);
+  EXPECT_EQ(m.fp, 6u);
+  EXPECT_EQ(m.fn, 0u);
+  EXPECT_NEAR(m.Precision(), 0.4, 1e-9);
+  EXPECT_NEAR(m.Recall(), 1.0, 1e-9);
+}
+
+TEST(GroupPrfTest, OverSplitGroupsLoseRecall) {
+  GroundTruth truth = TwoGroupsTruth();
+  std::vector<std::vector<NodeId>> components = {{0, 1}, {2}, {3, 4}};
+  PrfMetrics m = GroupPrf(components, truth);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 0u);
+  EXPECT_EQ(m.fn, 2u);
+}
+
+TEST(GroupPrfTest, MatchesPairwiseOnMaterializedClosure) {
+  // Property: GroupPrf(components) == PairwisePrf(all pairs of components).
+  GroundTruth truth;
+  for (RecordId r = 0; r < 12; ++r) truth.Assign(r, r % 4);
+  std::vector<std::vector<NodeId>> components = {{0, 1, 2, 3, 4}, {5, 6}, {7},
+                                                 {8, 9, 10, 11}};
+  std::vector<RecordPair> closure;
+  for (const auto& comp : components) {
+    for (size_t i = 0; i < comp.size(); ++i) {
+      for (size_t j = i + 1; j < comp.size(); ++j) {
+        closure.emplace_back(comp[i], comp[j]);
+      }
+    }
+  }
+  PrfMetrics a = GroupPrf(components, truth);
+  PrfMetrics b = PairwisePrf(closure, truth);
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.fn, b.fn);
+}
+
+TEST(ClusterPurityTest, PureAndImpureComponents) {
+  GroundTruth truth = TwoGroupsTruth();
+  // Pure grouping: purity 1.
+  EXPECT_DOUBLE_EQ(ClusterPurity({{0, 1, 2}, {3, 4}}, truth), 1.0);
+  // Glued component: 4 true of 10 edges, size-weighted single component.
+  EXPECT_NEAR(ClusterPurity({{0, 1, 2, 3, 4}}, truth), 0.4, 1e-9);
+}
+
+TEST(ClusterPurityTest, SingletonsCountAsPure) {
+  GroundTruth truth = TwoGroupsTruth();
+  // 3 singletons + one pure pair: purity 1.
+  EXPECT_DOUBLE_EQ(ClusterPurity({{0}, {1}, {2}, {3, 4}}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(ClusterPurity({}, truth), 0.0);
+}
+
+TEST(ClusterPurityTest, WeightsBySize) {
+  GroundTruth truth;
+  for (RecordId r = 0; r < 8; ++r) truth.Assign(r, r < 6 ? (r < 3 ? 0 : 1) : 2);
+  // Component A: records 0,1,2 (pure, size 3).
+  // Component B: records 3,4,5,6,7 -> entities 1,1,1? no: 3,4,5 are entity 1
+  // and 6,7 entity 2 => C(5,2)=10 edges, C(3,2)+C(2,2)=4 true -> purity 0.4.
+  double purity = ClusterPurity({{0, 1, 2}, {3, 4, 5, 6, 7}}, truth);
+  EXPECT_NEAR(purity, (3.0 * 1.0 + 5.0 * 0.4) / 8.0, 1e-9);
+}
+
+TEST(LargestComponentTest, Sizes) {
+  EXPECT_EQ(LargestComponent({}), 0u);
+  EXPECT_EQ(LargestComponent({{1}, {2, 3, 4}, {5, 6}}), 3u);
+}
+
+TEST(TableReportTest, AlignsColumns) {
+  TableReport table({"Model", "F1"});
+  table.AddRow({"DITTO (128)", "38.24"});
+  table.AddSeparator();
+  table.AddRow({"DistilBERT", "96.53"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("DITTO (128)   38.24"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableReportTest, ShortRowsPadded) {
+  TableReport table({"A", "B", "C"});
+  table.AddRow({"only-a"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(FormatTest, PercentAndScore) {
+  EXPECT_EQ(FormatPercent(0.9726), "97.26");
+  EXPECT_EQ(FormatPercent(0.0), "0.00");
+  EXPECT_EQ(FormatScore(0.98), "0.98");
+}
+
+}  // namespace
+}  // namespace gralmatch

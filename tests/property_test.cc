@@ -1,0 +1,417 @@
+// Parameterized property suites (TEST_P sweeps over seeds/configurations):
+// invariants that must hold for *every* random instance — cleanup
+// guarantees, blocking soundness, generator well-formedness, serializer
+// bounds, metric consistency.
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/id_overlap.h"
+#include "blocking/issuer_match.h"
+#include "blocking/token_overlap.h"
+#include "core/cleanup.h"
+#include "core/embeddedness.h"
+#include "core/label_propagation.h"
+#include "datagen/financial_gen.h"
+#include "datagen/identifiers.h"
+#include "datagen/wdc_gen.h"
+#include "eval/metrics.h"
+#include "eval/pr_curve.h"
+#include "matching/serializer.h"
+#include "matching/variants.h"
+
+namespace gralmatch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cleanup invariants on random graphs.
+// ---------------------------------------------------------------------------
+
+class CleanupPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Random graph: several dense communities plus random cross edges.
+  Graph MakeNoisyCommunities(Rng* rng, size_t* num_nodes) {
+    size_t communities = 3 + rng->Uniform(4);
+    std::vector<std::pair<size_t, size_t>> spans;  // [begin, end)
+    size_t next = 0;
+    for (size_t c = 0; c < communities; ++c) {
+      size_t size = 2 + rng->Uniform(9);
+      spans.emplace_back(next, next + size);
+      next += size;
+    }
+    *num_nodes = next;
+    Graph g(next);
+    for (const auto& [begin, end] : spans) {
+      for (size_t a = begin; a < end; ++a) {
+        // Ring for connectivity + random chords.
+        size_t b = a + 1 == end ? begin : a + 1;
+        if (b != a) (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+        for (size_t c2 = a + 2; c2 < end; ++c2) {
+          if (rng->Bernoulli(0.5)) {
+            (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(c2));
+          }
+        }
+      }
+    }
+    size_t bridges = rng->Uniform(4);
+    for (size_t k = 0; k < bridges; ++k) {
+      NodeId u = static_cast<NodeId>(rng->Uniform(next));
+      NodeId v = static_cast<NodeId>(rng->Uniform(next));
+      if (u != v) (void)g.AddEdge(u, v);
+    }
+    return g;
+  }
+};
+
+TEST_P(CleanupPropertyTest, AllFinalGroupsRespectMu) {
+  Rng rng(GetParam());
+  size_t n = 0;
+  Graph g = MakeNoisyCommunities(&rng, &n);
+  GraphCleanupConfig config;
+  config.gamma = 12;
+  config.mu = 6;
+  GraLMatchCleanup cleanup(config);
+  auto groups = cleanup.Run(&g);
+  for (const auto& comp : groups) {
+    EXPECT_LE(comp.size(), config.mu);
+  }
+}
+
+TEST_P(CleanupPropertyTest, GroupsPartitionTheNodeSet) {
+  Rng rng(GetParam() ^ 0x10);
+  size_t n = 0;
+  Graph g = MakeNoisyCommunities(&rng, &n);
+  GraLMatchCleanup cleanup(GraphCleanupConfig{10, 5});
+  auto groups = cleanup.Run(&g);
+  std::vector<int> seen(n, 0);
+  for (const auto& comp : groups) {
+    for (NodeId u : comp) ++seen[static_cast<size_t>(u)];
+  }
+  for (size_t u = 0; u < n; ++u) {
+    EXPECT_EQ(seen[u], 1) << "node " << u;
+  }
+}
+
+TEST_P(CleanupPropertyTest, CleanupOnlyRemovesEdges) {
+  Rng rng(GetParam() ^ 0x20);
+  size_t n = 0;
+  Graph g = MakeNoisyCommunities(&rng, &n);
+  size_t edges_before = g.num_edges_alive();
+  GraLMatchCleanup cleanup(GraphCleanupConfig{10, 4});
+  CleanupStats stats;
+  cleanup.Run(&g, &stats);
+  EXPECT_LE(g.num_edges_alive(), edges_before);
+  EXPECT_EQ(edges_before - g.num_edges_alive(),
+            stats.min_cut_edges_removed + stats.betweenness_edges_removed);
+}
+
+TEST_P(CleanupPropertyTest, DeterministicAcrossRuns) {
+  Rng rng1(GetParam() ^ 0x30), rng2(GetParam() ^ 0x30);
+  size_t n1 = 0, n2 = 0;
+  Graph a = MakeNoisyCommunities(&rng1, &n1);
+  Graph b = MakeNoisyCommunities(&rng2, &n2);
+  GraLMatchCleanup cleanup(GraphCleanupConfig{12, 5});
+  EXPECT_EQ(cleanup.Run(&a), cleanup.Run(&b));
+}
+
+TEST_P(CleanupPropertyTest, SizeAgnosticCleanupsAlsoPartition) {
+  Rng rng(GetParam() ^ 0x40);
+  size_t n = 0;
+  Graph g = MakeNoisyCommunities(&rng, &n);
+  auto check_partition = [&](const std::vector<std::vector<NodeId>>& groups) {
+    std::vector<int> seen(n, 0);
+    for (const auto& comp : groups) {
+      for (NodeId u : comp) ++seen[static_cast<size_t>(u)];
+    }
+    for (size_t u = 0; u < n; ++u) EXPECT_EQ(seen[u], 1);
+  };
+  check_partition(LabelPropagationGroups(g));
+  Graph g2 = g;
+  check_partition(EmbeddednessGroups(&g2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanupPropertyTest,
+                         ::testing::Values(1u, 7u, 99u, 1234u, 777777u));
+
+// ---------------------------------------------------------------------------
+// Blocking soundness on generated datasets.
+// ---------------------------------------------------------------------------
+
+class BlockingPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  FinancialBenchmark MakeBench() {
+    SyntheticConfig config;
+    config.seed = GetParam();
+    config.num_groups = 150;
+    return FinancialGenerator(config).Generate();
+  }
+};
+
+TEST_P(BlockingPropertyTest, AllCandidatesAreCrossSource) {
+  FinancialBenchmark bench = MakeBench();
+  CandidateSet candidates;
+  IdOverlapBlocker id_blocker;
+  id_blocker.AddCandidates(bench.securities, &candidates);
+  TokenOverlapBlocker token_blocker;
+  token_blocker.AddCandidates(bench.securities, &candidates);
+  for (const auto& cand : candidates.ToVector()) {
+    EXPECT_NE(bench.securities.records.at(cand.pair.a).source(),
+              bench.securities.records.at(cand.pair.b).source());
+    EXPECT_NE(cand.provenance, 0u);
+  }
+}
+
+TEST_P(BlockingPropertyTest, IdOverlapCandidatesShareAValue) {
+  FinancialBenchmark bench = MakeBench();
+  CandidateSet candidates;
+  IdOverlapBlocker blocker;
+  blocker.AddCandidates(bench.securities, &candidates);
+  for (const auto& cand : candidates.ToVector()) {
+    const Record& a = bench.securities.records.at(cand.pair.a);
+    const Record& b = bench.securities.records.at(cand.pair.b);
+    bool shared = false;
+    for (const auto& attr : IdentifierAttributes()) {
+      auto va = a.GetMulti(attr);
+      auto vb = b.GetMulti(attr);
+      for (const auto& x : va) {
+        for (const auto& y : vb) shared |= x == y;
+      }
+    }
+    EXPECT_TRUE(shared) << cand.pair.a << " vs " << cand.pair.b;
+  }
+}
+
+TEST_P(BlockingPropertyTest, IssuerMatchRespectsGroups) {
+  FinancialBenchmark bench = MakeBench();
+  // Ground-truth company groups as the previous matching.
+  std::vector<int64_t> company_group(bench.companies.records.size());
+  for (size_t i = 0; i < company_group.size(); ++i) {
+    company_group[i] =
+        bench.companies.truth.entity_of(static_cast<RecordId>(i));
+  }
+  CandidateSet candidates;
+  IssuerMatchBlocker blocker(&company_group);
+  blocker.AddCandidates(bench.securities, &candidates);
+  for (const auto& cand : candidates.ToVector()) {
+    auto issuer_of = [&](RecordId r) {
+      return std::atoll(
+          std::string(bench.securities.records.at(r).Get("issuer_ref")).c_str());
+    };
+    EXPECT_EQ(company_group[static_cast<size_t>(issuer_of(cand.pair.a))],
+              company_group[static_cast<size_t>(issuer_of(cand.pair.b))]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockingPropertyTest,
+                         ::testing::Values(3u, 44u, 5055u));
+
+// ---------------------------------------------------------------------------
+// Generator well-formedness across seeds and artifact mixes.
+// ---------------------------------------------------------------------------
+
+struct GenCase {
+  uint64_t seed;
+  double event_rate;   // acquisition/merger probability
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, BenchmarkIsWellFormed) {
+  SyntheticConfig config;
+  config.seed = GetParam().seed;
+  config.num_groups = 120;
+  config.artifacts.p_acquisition = GetParam().event_rate;
+  config.artifacts.p_merger = GetParam().event_rate;
+  FinancialBenchmark bench = FinancialGenerator(config).Generate();
+
+  ASSERT_GT(bench.companies.records.size(), 0u);
+  ASSERT_GT(bench.securities.records.size(), 0u);
+
+  // Every record has a ground-truth entity and a non-empty name.
+  for (size_t i = 0; i < bench.companies.records.size(); ++i) {
+    EXPECT_NE(bench.companies.truth.entity_of(static_cast<RecordId>(i)),
+              kInvalidEntity);
+    EXPECT_TRUE(bench.companies.records.at(static_cast<RecordId>(i)).Has("name"));
+  }
+
+  // Every security has a valid same-source issuer and only valid identifier
+  // values of its standards.
+  for (size_t i = 0; i < bench.securities.records.size(); ++i) {
+    const Record& sec = bench.securities.records.at(static_cast<RecordId>(i));
+    auto issuer = std::atoll(std::string(sec.Get("issuer_ref")).c_str());
+    ASSERT_GE(issuer, 0);
+    ASSERT_LT(static_cast<size_t>(issuer), bench.companies.records.size());
+    EXPECT_EQ(bench.companies.records.at(static_cast<RecordId>(issuer)).source(),
+              sec.source());
+    for (const auto& isin : sec.GetMulti("isin")) {
+      EXPECT_TRUE(IsValidIsin(isin)) << isin;
+    }
+    for (const auto& cusip : sec.GetMulti("cusip")) {
+      EXPECT_TRUE(IsValidCusip(cusip)) << cusip;
+    }
+    for (const auto& sedol : sec.GetMulti("sedol")) {
+      EXPECT_TRUE(IsValidSedol(sedol)) << sedol;
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, WdcIsWellFormed) {
+  WdcConfig config;
+  config.seed = GetParam().seed;
+  config.num_entities = 100;
+  Dataset products = WdcProductsGenerator(config).Generate();
+  EXPECT_EQ(products.truth.num_records(), products.records.size());
+  for (size_t i = 0; i < products.records.size(); ++i) {
+    EXPECT_TRUE(products.records.at(static_cast<RecordId>(i)).Has("title"));
+    EXPECT_NE(products.truth.entity_of(static_cast<RecordId>(i)),
+              kInvalidEntity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndRates, GeneratorPropertyTest,
+                         ::testing::Values(GenCase{2, 0.0}, GenCase{2, 0.15},
+                                           GenCase{31, 0.03},
+                                           GenCase{555, 0.3}));
+
+// ---------------------------------------------------------------------------
+// Serializer bounds across sequence budgets and encodings.
+// ---------------------------------------------------------------------------
+
+struct SerializerCase {
+  size_t max_len;
+  bool ditto;
+};
+
+class SerializerPropertyTest : public ::testing::TestWithParam<SerializerCase> {};
+
+TEST_P(SerializerPropertyTest, EncodingRespectsBudgetAndStructure) {
+  SubwordVocab vocab;
+  vocab.Train({"alpha beta gamma delta epsilon corporation zurich",
+               "isin cusip sedol name type city common stock"},
+              500);
+  Rng rng(9);
+  std::unique_ptr<PairSerializer> serializer;
+  if (GetParam().ditto) {
+    serializer = std::make_unique<DittoSerializer>();
+  } else {
+    serializer = std::make_unique<PlainSerializer>();
+  }
+
+  for (int trial = 0; trial < 30; ++trial) {
+    Record a(0, RecordKind::kCompany), b(1, RecordKind::kCompany);
+    auto random_text = [&](size_t words) {
+      std::string out;
+      for (size_t w = 0; w < words; ++w) {
+        out += "tok" + std::to_string(rng.Uniform(40)) + " ";
+      }
+      return out;
+    };
+    a.Set("name", random_text(1 + rng.Uniform(30)));
+    b.Set("name", random_text(1 + rng.Uniform(30)));
+    if (rng.Bernoulli(0.5)) a.Set("city", random_text(2));
+    if (rng.Bernoulli(0.5)) b.Set("short_description", random_text(20));
+
+    EncodedSequence seq =
+        serializer->EncodePair(a, b, vocab, GetParam().max_len);
+    EXPECT_LE(seq.tokens.size(), GetParam().max_len);
+    EXPECT_EQ(seq.segments.size(), seq.tokens.size());
+    EXPECT_EQ(seq.shared.size(), seq.tokens.size());
+    ASSERT_FALSE(seq.tokens.empty());
+    EXPECT_EQ(seq.tokens[0], SpecialTokens::kCls);
+    EXPECT_EQ(std::count(seq.tokens.begin(), seq.tokens.end(),
+                         static_cast<int32_t>(SpecialTokens::kSep)),
+              1);
+    // Segments are monotone 0 -> 1.
+    for (size_t i = 1; i < seq.segments.size(); ++i) {
+      EXPECT_GE(seq.segments[i], seq.segments[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SerializerPropertyTest,
+                         ::testing::Values(SerializerCase{16, false},
+                                           SerializerCase{16, true},
+                                           SerializerCase{32, false},
+                                           SerializerCase{32, true},
+                                           SerializerCase{96, true}));
+
+// ---------------------------------------------------------------------------
+// Metric consistency: analytic group metrics == materialized closure.
+// ---------------------------------------------------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, GroupPrfMatchesMaterializedClosure) {
+  Rng rng(GetParam());
+  size_t n = 20 + rng.Uniform(40);
+  GroundTruth truth;
+  for (size_t r = 0; r < n; ++r) {
+    truth.Assign(static_cast<RecordId>(r),
+                 static_cast<EntityId>(rng.Uniform(n / 3 + 1)));
+  }
+  // Random partition into components.
+  std::vector<NodeId> nodes(n);
+  for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+  rng.Shuffle(&nodes);
+  std::vector<std::vector<NodeId>> components;
+  size_t pos = 0;
+  while (pos < n) {
+    size_t size = 1 + rng.Uniform(6);
+    size = std::min(size, n - pos);
+    std::vector<NodeId> comp(nodes.begin() + static_cast<long>(pos),
+                             nodes.begin() + static_cast<long>(pos + size));
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+    pos += size;
+  }
+
+  std::vector<RecordPair> closure;
+  for (const auto& comp : components) {
+    for (size_t i = 0; i < comp.size(); ++i) {
+      for (size_t j = i + 1; j < comp.size(); ++j) {
+        closure.emplace_back(comp[i], comp[j]);
+      }
+    }
+  }
+  PrfMetrics analytic = GroupPrf(components, truth);
+  PrfMetrics materialized = PairwisePrf(closure, truth);
+  EXPECT_EQ(analytic.tp, materialized.tp);
+  EXPECT_EQ(analytic.fp, materialized.fp);
+  EXPECT_EQ(analytic.fn, materialized.fn);
+}
+
+TEST_P(MetricsPropertyTest, PrCurveIsMonotoneInPredictions) {
+  Rng rng(GetParam() ^ 0x99);
+  GroundTruth truth;
+  for (RecordId r = 0; r < 30; ++r) truth.Assign(r, r / 3);
+  std::vector<ScoredPair> scored;
+  for (RecordId a = 0; a < 30; ++a) {
+    for (RecordId b = a + 1; b < 30; ++b) {
+      double base = truth.IsMatch(a, b) ? 0.7 : 0.3;
+      scored.push_back({RecordPair(a, b), base + rng.UniformDouble(-0.3, 0.3)});
+    }
+  }
+  std::vector<double> thresholds = {0.0, 0.2, 0.4, 0.6, 0.8, 1.01};
+  auto curve = PrecisionRecallCurve(scored, truth, thresholds);
+  ASSERT_EQ(curve.size(), thresholds.size());
+  // Raising the threshold never increases tp or fp.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].tp, curve[i - 1].tp);
+    EXPECT_LE(curve[i].fp, curve[i - 1].fp);
+  }
+  // Threshold 0 accepts everything; > 1 accepts nothing.
+  EXPECT_EQ(curve.front().tp + curve.front().fn, truth.NumTrueMatches());
+  EXPECT_EQ(curve.back().tp, 0u);
+  ThresholdPoint best = BestF1Point(curve);
+  EXPECT_GE(best.F1(), curve.front().F1());
+  EXPECT_GE(best.F1(), curve.back().F1());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+}  // namespace
+}  // namespace gralmatch
