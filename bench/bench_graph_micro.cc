@@ -1,10 +1,18 @@
 // Google-benchmark microbenchmarks for the performance-critical kernels:
 // graph algorithms (Stoer-Wagner min cut, Brandes edge betweenness,
-// connected components), text kernels and transformer inference.
+// connected components), the parallel cleanup hot path at 1/2/4 threads,
+// text kernels and transformer inference.
+//
+// Thread-count convention for comparing BENCH_graph_micro.json artifacts:
+// the `/threads:N` suffix of BM_GraphCleanup names the worker count; speedup
+// claims compare `/threads:N real_time` against `/threads:1` *of the same
+// artifact* (same machine, same build) — never across machines.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/cleanup.h"
+#include "exec/parallel.h"
 #include "graph/betweenness.h"
 #include "graph/graph.h"
 #include "graph/min_cut.h"
@@ -64,6 +72,67 @@ void BM_ConnectedComponents(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConnectedComponents)->Arg(1000)->Arg(10000);
+
+/// The cleanup hot path's workload shape: many independent oversized noisy
+/// communities (no cross edges), each of which phase 1 must min-cut apart
+/// and phase 2 must trim down to mu.
+Graph MakeClusteredGraph(size_t communities, size_t community_size,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Graph g(communities * community_size);
+  for (size_t c = 0; c < communities; ++c) {
+    const size_t begin = c * community_size;
+    const size_t end = begin + community_size;
+    for (size_t a = begin; a < end; ++a) {
+      // Ring for connectivity plus random chords.
+      size_t b = a + 1 == end ? begin : a + 1;
+      (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      for (size_t c2 = a + 2; c2 < end; ++c2) {
+        if (rng.Bernoulli(0.12)) {
+          (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(c2));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+/// The GraLMatch cleanup at range(0) worker threads. Components are
+/// independent, so the parallel path fans them out; /threads:1 is the serial
+/// reference the speedup is measured against (same artifact only).
+void BM_GraphCleanup(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Graph g = MakeClusteredGraph(/*communities=*/12, /*community_size=*/48, 7);
+  GraphCleanupConfig config;
+  config.gamma = 24;
+  config.mu = 6;
+  GraLMatchCleanup cleanup(config);
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    g.RestoreAllEdges();  // O(E) memset, negligible next to the cleanup
+    auto groups = cleanup.Run(&g, nullptr, pool_ptr);
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_GraphCleanup)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads")
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Dispatch overhead of the ParallelFor chunking for a cheap body.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(threads);
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    ParallelFor(
+        &pool, 0, out.size(),
+        [&out](size_t i) { out[i] = static_cast<double>(i) * 0.5; },
+        /*grain=*/64);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads")
+    ->UseRealTime();
 
 void BM_Levenshtein(benchmark::State& state) {
   std::string a = "crowdstrike holdings incorporated";

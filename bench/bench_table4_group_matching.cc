@@ -7,7 +7,12 @@
 // synthetic companies dataset, as in the paper.
 //
 // Usage: bench_table4_group_matching [--scale P] [--seed S]
-//        [--model_dir DIR] [--retrain] [--no-sensitivity]
+//        [--num_threads N] [--model_dir DIR] [--retrain] [--no-sensitivity]
+//
+// --num_threads N fans blocking, pairwise scoring and the per-component
+// graph cleanup out over N workers; the table values are identical at any N
+// (only the Inference column's wall-clock changes). When comparing timings
+// across runs or artifacts, always compare equal thread counts.
 
 #include <cstdio>
 
@@ -56,11 +61,13 @@ void AddRow(TableReport* table, const std::string& dataset,
                  Stopwatch::FormatSeconds(s.inference_seconds)});
 }
 
-PipelineConfig MakePipelineConfig(const ExperimentView& view) {
+PipelineConfig MakePipelineConfig(const ExperimentView& view,
+                                  const BenchConfig& bench_config) {
   PipelineConfig config;
   config.cleanup.gamma = view.gamma;
   config.cleanup.mu = view.mu;
   config.pre_cleanup_threshold = view.pre_cleanup_threshold;
+  config.num_threads = bench_config.num_threads;
   return config;
 }
 
@@ -70,8 +77,9 @@ int Main(int argc, char** argv) {
   bool sensitivity = !flags.Has("no-sensitivity");
 
   std::printf("=== Table 4: entity group matching with blocking and GraLMatch "
-              "(scale %.0f%%, seed %llu) ===\n",
-              config.scale, static_cast<unsigned long long>(config.seed));
+              "(scale %.0f%%, seed %llu, threads %zu) ===\n",
+              config.scale, static_cast<unsigned long long>(config.seed),
+              config.num_threads);
   std::printf(
       "Paper shape targets: Pre-Cleanup precision collapses on companies "
       "datasets (false positives glue giant components; purity ~0);\n"
@@ -99,7 +107,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "[table4] %s: %zu records, %zu candidate pairs\n",
                  task.name.c_str(), view.sub.records.size(), candidates.size());
 
-    PipelineConfig pipe_config = MakePipelineConfig(view);
+    PipelineConfig pipe_config = MakePipelineConfig(view, config);
     for (ModelVariant variant : VariantsForTask(task)) {
       TrainedModel model = GetModel(task, variant, config);
       EntityGroupPipeline pipeline(pipe_config);

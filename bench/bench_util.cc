@@ -43,6 +43,8 @@ BenchConfig ParseBenchConfig(int argc, char** argv) {
   BenchConfig config;
   config.scale = flags.GetDouble("scale", config.scale);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.num_threads = static_cast<size_t>(
+      flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
   config.epochs = static_cast<size_t>(flags.GetInt("epochs", 3));
   config.model_dir = flags.GetString("model_dir", config.model_dir);
   config.retrain = flags.Has("retrain");
@@ -263,6 +265,7 @@ ExperimentView MakeView(const MatchTask& task,
     topts.top_n = 10;
     topts.min_overlap = 2;
     topts.max_token_df = 0.30;
+    topts.num_threads = config.num_threads;
     TokenOverlapBlocker token_blocker(topts);
     token_blocker.AddCandidates(view.sub, &view.candidates);
     return view;
@@ -286,7 +289,9 @@ ExperimentView MakeView(const MatchTask& task,
       copy.Set("issuer_ref", std::to_string(it->second));
       view.sub_securities.Add(std::move(copy));
     }
-    IdOverlapBlocker id_blocker(&view.sub_securities);
+    IdOverlapBlocker::Options id_opts;
+    id_opts.num_threads = config.num_threads;
+    IdOverlapBlocker id_blocker(&view.sub_securities, id_opts);
     id_blocker.AddCandidates(view.sub, &view.candidates);
     // top-n tuned to the paper's candidate density (~6.5 pairs per record
     // on synthetic companies, Table 2).
@@ -294,6 +299,7 @@ ExperimentView MakeView(const MatchTask& task,
     topts.top_n = 8;
     topts.min_overlap = 2;
     topts.max_token_df = 0.08;
+    topts.num_threads = config.num_threads;
     TokenOverlapBlocker token_blocker(topts);
     token_blocker.AddCandidates(view.sub, &view.candidates);
     return view;
@@ -301,7 +307,9 @@ ExperimentView MakeView(const MatchTask& task,
 
   // Securities: ID Overlap + Issuer Match.
   view.blockings = "ID Overlap, Issuer Match";
-  IdOverlapBlocker id_blocker;
+  IdOverlapBlocker::Options id_opts;
+  id_opts.num_threads = config.num_threads;
+  IdOverlapBlocker id_blocker(id_opts);
   id_blocker.AddCandidates(view.sub, &view.candidates);
   view.company_group_full = HeuristicCompanyGroups(
       fin_benchmark->companies, fin_benchmark->securities.records);

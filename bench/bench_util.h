@@ -27,6 +27,10 @@ namespace bench {
 struct BenchConfig {
   double scale = 100.0;   ///< percent of the default workload size
   uint64_t seed = 42;
+  /// Worker threads for blocking, candidate scoring, and graph cleanup.
+  /// Results are identical at any thread count; when comparing timings in
+  /// bench artifacts, always state the thread count and compare equal ones.
+  size_t num_threads = 1;
   size_t epochs = 3;      ///< paper: 5; scaled default for single-core runs
   std::string model_dir = "gralmatch_models";
   bool retrain = false;   ///< ignore cached models
@@ -44,7 +48,8 @@ struct BenchConfig {
   size_t reduced_train_pairs = 3500;
 };
 
-/// Parse --scale/--seed/--epochs/--model_dir/--retrain from argv.
+/// Parse --scale/--seed/--num_threads/--epochs/--model_dir/--retrain from
+/// argv.
 BenchConfig ParseBenchConfig(int argc, char** argv);
 
 /// Default workload sizes at scale 100.

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   gen_config.num_groups = static_cast<size_t>(flags.GetInt("groups", 250));
   gen_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
   size_t epochs = static_cast<size_t>(flags.GetInt("epochs", 2));
+  size_t num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
 
   FinancialBenchmark bench = FinancialGenerator(gen_config).Generate();
   std::printf("Benchmark: %zu company / %zu security records across %zu "
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
   company_pipe.cleanup.gamma = 25;
   company_pipe.cleanup.mu = 5;
   company_pipe.pre_cleanup_threshold = 50;
+  company_pipe.num_threads = num_threads;
   EntityGroupPipeline company_pipeline(company_pipe);
   PipelineResult company_result = company_pipeline.Run(
       bench.companies, company_candidates.ToVector(), company_matcher);
@@ -127,6 +129,7 @@ int main(int argc, char** argv) {
   PipelineConfig security_pipe;
   security_pipe.cleanup.gamma = 25;
   security_pipe.cleanup.mu = 5;
+  security_pipe.num_threads = num_threads;
   EntityGroupPipeline security_pipeline(security_pipe);
   PipelineResult security_result = security_pipeline.Run(
       bench.securities, security_candidates.ToVector(), security_matcher);

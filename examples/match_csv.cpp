@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: match_csv --in records.csv [--out groups.csv]\n"
                  "       [--kind company|security|product] [--gamma N] "
-                 "[--mu N] [--seed S]\n");
+                 "[--mu N] [--seed S] [--num_threads T]\n");
     return 2;
   }
   std::string kind_str = flags.GetString("kind", "company");
@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
   config.cleanup.mu = static_cast<size_t>(
       flags.GetInt("mu", static_cast<int64_t>(data.records.NumSources())));
   config.pre_cleanup_threshold = 50;
+  config.num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
   EntityGroupPipeline pipeline(config);
   PipelineResult result = pipeline.Run(data, candidates.ToVector(), matcher);
   std::printf("GraLMatch produced %zu entity groups (largest %zu).\n",

@@ -3,7 +3,7 @@
 // candidate pairs, score them with a trained pairwise matcher, run the
 // GraLMatch Graph Cleanup, and print the resulting entity groups.
 //
-//   ./examples/quickstart [--groups N] [--seed S]
+//   ./examples/quickstart [--groups N] [--seed S] [--num_threads T]
 
 #include <cstdio>
 
@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   pipe_config.cleanup.gamma = 25;
   pipe_config.cleanup.mu = 5;  // one record per data source
   pipe_config.pre_cleanup_threshold = 50;
+  // Scoring and cleanup fan out over worker threads; the resulting groups
+  // are identical at any thread count.
+  pipe_config.num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
   EntityGroupPipeline pipeline(pipe_config);
   PipelineResult result =
       pipeline.Run(bench.companies, candidates.ToVector(), matcher);

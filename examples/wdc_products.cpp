@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
     PipelineConfig config;
     config.cleanup.gamma = 25;
     config.cleanup.mu = mu;
+    config.num_threads =
+        static_cast<size_t>(flags.GetInt("num_threads", 1));
     EntityGroupPipeline pipeline(config);
     PipelineResult result =
         pipeline.Run(products, candidates.ToVector(), matcher);

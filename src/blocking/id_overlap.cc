@@ -1,7 +1,11 @@
 #include "blocking/id_overlap.h"
 
 #include <cstdlib>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+
+#include "exec/parallel.h"
 
 namespace gralmatch {
 
@@ -28,6 +32,47 @@ std::unordered_map<std::string, std::vector<RecordId>> BuildIdIndex(
   return index;
 }
 
+/// Expand every identifier bucket into its cross-source pairs, fanning the
+/// buckets out over `num_threads` workers. Each bucket writes to its own
+/// slot and the pairs are merged into `out` in bucket order; CandidateSet
+/// deduplicates with provenance union, so the result is identical for every
+/// thread count.
+void EmitBucketPairs(
+    const std::unordered_map<std::string, std::vector<RecordId>>& index,
+    const RecordTable& records, size_t max_bucket, size_t num_threads,
+    BlockerKind kind, CandidateSet* out) {
+  std::vector<const std::vector<RecordId>*> buckets;
+  buckets.reserve(index.size());
+  for (const auto& [value, holders] : index) {
+    if (holders.size() >= 2 && holders.size() <= max_bucket) {
+      buckets.push_back(&holders);
+    }
+  }
+
+  std::unique_ptr<ThreadPool> pool_storage = MaybeMakePool(num_threads);
+
+  std::vector<std::vector<RecordPair>> bucket_pairs(buckets.size());
+  ParallelFor(
+      pool_storage.get(), 0, buckets.size(),
+      [&](size_t bi) {
+        const std::vector<RecordId>& holders = *buckets[bi];
+        for (size_t i = 0; i < holders.size(); ++i) {
+          for (size_t j = i + 1; j < holders.size(); ++j) {
+            if (holders[i] == holders[j]) continue;
+            if (records.at(holders[i]).source() ==
+                records.at(holders[j]).source()) {
+              continue;
+            }
+            bucket_pairs[bi].emplace_back(holders[i], holders[j]);
+          }
+        }
+      },
+      /*grain=*/8);
+  for (const auto& pairs : bucket_pairs) {
+    for (const RecordPair& pair : pairs) out->Add(pair, kind);
+  }
+}
+
 }  // namespace
 
 void IdOverlapBlocker::AddCandidates(const Dataset& dataset,
@@ -35,18 +80,8 @@ void IdOverlapBlocker::AddCandidates(const Dataset& dataset,
   if (securities_ == nullptr) {
     // Securities mode: direct identifier overlap.
     auto index = BuildIdIndex(dataset.records);
-    for (const auto& [value, holders] : index) {
-      if (holders.size() < 2 || holders.size() > kMaxBucket) continue;
-      for (size_t i = 0; i < holders.size(); ++i) {
-        for (size_t j = i + 1; j < holders.size(); ++j) {
-          if (dataset.records.at(holders[i]).source() ==
-              dataset.records.at(holders[j]).source()) {
-            continue;
-          }
-          out->Add(RecordPair(holders[i], holders[j]), kind());
-        }
-      }
-    }
+    EmitBucketPairs(index, dataset.records, kMaxBucket, options_.num_threads,
+                    kind(), out);
     return;
   }
 
@@ -68,19 +103,8 @@ void IdOverlapBlocker::AddCandidates(const Dataset& dataset,
       }
     }
   }
-  for (const auto& [value, issuers] : index) {
-    if (issuers.size() < 2 || issuers.size() > kMaxBucket) continue;
-    for (size_t i = 0; i < issuers.size(); ++i) {
-      for (size_t j = i + 1; j < issuers.size(); ++j) {
-        if (issuers[i] == issuers[j]) continue;
-        if (dataset.records.at(issuers[i]).source() ==
-            dataset.records.at(issuers[j]).source()) {
-          continue;
-        }
-        out->Add(RecordPair(issuers[i], issuers[j]), kind());
-      }
-    }
-  }
+  EmitBucketPairs(index, dataset.records, kMaxBucket, options_.num_threads,
+                  kind(), out);
 }
 
 }  // namespace gralmatch

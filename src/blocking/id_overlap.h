@@ -27,13 +27,22 @@ const std::vector<std::string>& IdentifierAttributes();
 /// by the securities' "issuer_ref" attribute) share an identifier value.
 class IdOverlapBlocker : public Blocker {
  public:
+  struct Options {
+    /// Worker threads for expanding identifier buckets into pairs. Any
+    /// value produces the exact same candidate set as 1 (serial).
+    size_t num_threads = 1;
+  };
+
   /// Securities mode.
   IdOverlapBlocker() = default;
+  explicit IdOverlapBlocker(Options options) : options_(options) {}
 
   /// Companies mode: `securities` must outlive the blocker; its records'
   /// "issuer_ref" attributes index into the blocked (company) dataset.
   explicit IdOverlapBlocker(const RecordTable* securities)
       : securities_(securities) {}
+  IdOverlapBlocker(const RecordTable* securities, Options options)
+      : securities_(securities), options_(options) {}
 
   std::string name() const override { return "ID Overlap"; }
   BlockerKind kind() const override { return kBlockerIdOverlap; }
@@ -45,6 +54,7 @@ class IdOverlapBlocker : public Blocker {
 
  private:
   const RecordTable* securities_ = nullptr;
+  Options options_;
 };
 
 }  // namespace gralmatch

@@ -1,8 +1,10 @@
 #include "blocking/token_overlap.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
+#include "exec/parallel.h"
 #include "text/normalize.h"
 
 namespace gralmatch {
@@ -12,16 +14,27 @@ void TokenOverlapBlocker::AddCandidates(const Dataset& dataset,
   const size_t n = dataset.records.size();
   if (n < 2) return;
 
-  // Tokenize every record once (deduplicated tokens).
+  std::unique_ptr<ThreadPool> pool_storage =
+      MaybeMakePool(options_.num_threads);
+  ThreadPool* pool = pool_storage.get();
+
+  // Tokenize every record once (deduplicated tokens); records are
+  // independent, so this fans out. Document frequencies are accumulated
+  // serially afterwards to keep the counts exact and deterministic.
   std::vector<std::vector<std::string>> tokens_of(n);
+  ParallelFor(
+      pool, 0, n,
+      [&](size_t i) {
+        auto toks = TokenizeContentWords(
+            dataset.records.at(static_cast<RecordId>(i)).AllText());
+        std::sort(toks.begin(), toks.end());
+        toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+        tokens_of[i] = std::move(toks);
+      },
+      /*grain=*/32);
   std::unordered_map<std::string, uint32_t> df;
   for (size_t i = 0; i < n; ++i) {
-    auto toks = TokenizeContentWords(
-        dataset.records.at(static_cast<RecordId>(i)).AllText());
-    std::sort(toks.begin(), toks.end());
-    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
-    for (const auto& t : toks) ++df[t];
-    tokens_of[i] = std::move(toks);
+    for (const auto& t : tokens_of[i]) ++df[t];
   }
 
   // Token ids for the inverted index, skipping ultra-frequent tokens.
@@ -42,32 +55,45 @@ void TokenOverlapBlocker::AddCandidates(const Dataset& dataset,
 
   // For each record, count overlaps against other-source records and keep
   // the top-n by overlap count (ties resolved by record id for determinism).
-  std::unordered_map<RecordId, uint32_t> overlap;
+  // Every record ranks independently into its own slot; the candidate set is
+  // assembled serially in record order, so the output is thread-count
+  // invariant.
+  std::vector<std::vector<RecordId>> kept(n);
+  ParallelFor(
+      pool, 0, n,
+      [&](size_t i) {
+        std::unordered_map<RecordId, uint32_t> overlap;
+        const SourceId source =
+            dataset.records.at(static_cast<RecordId>(i)).source();
+        for (const auto& t : tokens_of[i]) {
+          auto it = token_ids.find(t);
+          if (it == token_ids.end()) continue;
+          for (RecordId other : postings[static_cast<size_t>(it->second)]) {
+            if (static_cast<size_t>(other) == i) continue;
+            if (dataset.records.at(other).source() == source) continue;
+            ++overlap[other];
+          }
+        }
+        std::vector<std::pair<RecordId, uint32_t>> ranked;
+        ranked.reserve(overlap.size());
+        for (const auto& [rid, cnt] : overlap) {
+          if (cnt >= options_.min_overlap) ranked.emplace_back(rid, cnt);
+        }
+        size_t keep = std::min(options_.top_n, ranked.size());
+        auto by_count_then_id = [](const auto& a, const auto& b) {
+          if (a.second != b.second) return a.second > b.second;
+          return a.first < b.first;
+        };
+        std::partial_sort(ranked.begin(),
+                          ranked.begin() + static_cast<long>(keep),
+                          ranked.end(), by_count_then_id);
+        kept[i].reserve(keep);
+        for (size_t k = 0; k < keep; ++k) kept[i].push_back(ranked[k].first);
+      },
+      /*grain=*/16);
   for (size_t i = 0; i < n; ++i) {
-    overlap.clear();
-    const SourceId source = dataset.records.at(static_cast<RecordId>(i)).source();
-    for (const auto& t : tokens_of[i]) {
-      auto it = token_ids.find(t);
-      if (it == token_ids.end()) continue;
-      for (RecordId other : postings[static_cast<size_t>(it->second)]) {
-        if (static_cast<size_t>(other) == i) continue;
-        if (dataset.records.at(other).source() == source) continue;
-        ++overlap[other];
-      }
-    }
-    std::vector<std::pair<RecordId, uint32_t>> ranked;
-    ranked.reserve(overlap.size());
-    for (const auto& [rid, cnt] : overlap) {
-      if (cnt >= options_.min_overlap) ranked.emplace_back(rid, cnt);
-    }
-    size_t keep = std::min(options_.top_n, ranked.size());
-    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
-                      ranked.end(), [](const auto& a, const auto& b) {
-                        if (a.second != b.second) return a.second > b.second;
-                        return a.first < b.first;
-                      });
-    for (size_t k = 0; k < keep; ++k) {
-      out->Add(RecordPair(static_cast<RecordId>(i), ranked[k].first), kind());
+    for (RecordId other : kept[i]) {
+      out->Add(RecordPair(static_cast<RecordId>(i), other), kind());
     }
   }
 }

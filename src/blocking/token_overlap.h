@@ -28,6 +28,9 @@ class TokenOverlapBlocker : public Blocker {
     /// when counting overlaps (they carry no discriminative signal and blow
     /// up the inverted index).
     double max_token_df = 0.05;
+    /// Worker threads for tokenization and per-record overlap ranking.
+    /// Any value produces the exact same candidate set as 1 (serial).
+    size_t num_threads = 1;
   };
 
   TokenOverlapBlocker() = default;

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <deque>
 
-#include "common/stopwatch.h"
 #include "blocking/blocker.h"
+#include "common/stopwatch.h"
+#include "exec/parallel.h"
 #include "graph/betweenness.h"
 #include "graph/min_cut.h"
 
@@ -27,27 +28,25 @@ void PreCleanup(Graph* graph, const std::vector<uint32_t>& edge_provenance,
   }
 }
 
-std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(
-    Graph* graph, CleanupStats* stats) const {
-  Stopwatch watch;
-  std::vector<std::vector<NodeId>> done;   // components at or below mu
-  std::deque<std::vector<NodeId>> work;    // components still to inspect
-  for (auto& comp : graph->ConnectedComponents()) {
-    work.push_back(std::move(comp));
-  }
+namespace {
 
-  // Phase 1 (lines 3-6): while the largest component exceeds gamma, remove
-  // a minimum edge cut. Removing the cut is guaranteed to disconnect the
-  // component, so both sides are re-enqueued. Phase 2 (lines 7-10): while a
-  // component exceeds mu, remove the single edge with maximum betweenness
-  // centrality; the component may or may not split. Processing each
-  // component independently is equivalent to the paper's global
-  // argmax-by-size loop because components do not interact.
+// Phase 1 (lines 3-6): while the largest component exceeds gamma, remove
+// a minimum edge cut. Removing the cut is guaranteed to disconnect the
+// component, so both sides are re-enqueued. Phase 2 (lines 7-10): while a
+// component exceeds mu, remove the single edge with maximum betweenness
+// centrality; the component may or may not split. Processing each
+// component independently is equivalent to the paper's global
+// argmax-by-size loop because components do not interact — the same fact
+// the parallel path exploits to fan components out across threads.
+void RunPhases(const GraphCleanupConfig& config, Graph* graph,
+               std::deque<std::vector<NodeId>> work,
+               std::vector<std::vector<NodeId>>* done, CleanupStats* stats) {
   std::deque<std::vector<NodeId>> phase2;
   while (!work.empty()) {
     std::vector<NodeId> comp = std::move(work.front());
     work.pop_front();
-    if (comp.size() <= config_.gamma || config_.gamma == GraphCleanupConfig::kNoMinCut) {
+    if (comp.size() <= config.gamma ||
+        config.gamma == GraphCleanupConfig::kNoMinCut) {
       phase2.push_back(std::move(comp));
       continue;
     }
@@ -66,7 +65,6 @@ std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(
     // The cut separates `partition` from the rest of the component.
     std::vector<NodeId> rest;
     rest.reserve(comp.size() - cut->partition.size());
-    std::vector<bool> in_side(0);
     {
       // partition is sorted; comp is sorted.
       size_t pi = 0;
@@ -85,14 +83,14 @@ std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(
   while (!phase2.empty()) {
     std::vector<NodeId> comp = std::move(phase2.front());
     phase2.pop_front();
-    if (comp.size() <= config_.mu) {
-      done.push_back(std::move(comp));
+    if (comp.size() <= config.mu) {
+      done->push_back(std::move(comp));
       continue;
     }
     EdgeId e = MaxBetweennessEdge(*graph, comp);
     if (stats) ++stats->betweenness_calls;
     if (e < 0) {
-      done.push_back(std::move(comp));
+      done->push_back(std::move(comp));
       continue;
     }
     NodeId u = graph->edge(e).u;
@@ -106,6 +104,117 @@ std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(
     } else {
       phase2.push_back(std::move(side_u));
       phase2.push_back(graph->ComponentOf(v));
+    }
+  }
+}
+
+/// Per-component result of the parallel path, merged back serially.
+struct ComponentCleanup {
+  std::vector<std::vector<NodeId>> groups;  // parent node ids
+  std::vector<EdgeId> removed_edges;        // parent edge ids
+  CleanupStats stats;
+};
+
+/// Run both phases on a compact copy of one component. The copy maps the
+/// (sorted) component nodes to 0..k-1 and inserts its alive edges in
+/// increasing parent-edge-id order with their original orientation, so every
+/// ordering the algorithms tie-break on — node comparisons, adjacency-list
+/// order, edge-id order, betweenness accumulation order — is preserved and
+/// the local decisions are bitwise-identical to an in-place serial run.
+/// Workers never mutate the shared graph; removals are applied at merge.
+ComponentCleanup CleanupComponentCopy(const GraphCleanupConfig& config,
+                                      const Graph& graph,
+                                      const std::vector<NodeId>& comp) {
+  Graph local(comp.size());
+  // Collect the component's alive edges by walking its own adjacency lists
+  // (Graph::EdgesWithin would allocate an O(total-nodes) membership mask per
+  // component, turning the parallel path into O(components x graph size)).
+  // `comp` is a connected component, so both endpoints are inside it; each
+  // alive edge is emitted once, from its smaller endpoint, then sorted into
+  // the same increasing-edge-id order EdgesWithin produces.
+  std::vector<EdgeId> edges;
+  std::vector<std::pair<NodeId, EdgeId>> incident;
+  for (NodeId u : comp) {
+    graph.AliveNeighbors(u, &incident);
+    for (const auto& [nbr, eid] : incident) {
+      const Graph::Edge& e = graph.edge(eid);
+      if (u == std::min(e.u, e.v)) edges.push_back(eid);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  std::vector<EdgeId> parent_edge;
+  parent_edge.reserve(edges.size());
+  auto local_id = [&comp](NodeId u) {
+    return static_cast<NodeId>(std::lower_bound(comp.begin(), comp.end(), u) -
+                               comp.begin());
+  };
+  for (EdgeId e : edges) {
+    (void)local.AddEdge(local_id(graph.edge(e).u), local_id(graph.edge(e).v));
+    parent_edge.push_back(e);
+  }
+
+  std::vector<NodeId> local_comp(comp.size());
+  for (size_t i = 0; i < comp.size(); ++i) {
+    local_comp[i] = static_cast<NodeId>(i);
+  }
+  std::deque<std::vector<NodeId>> work;
+  work.push_back(std::move(local_comp));
+
+  ComponentCleanup result;
+  std::vector<std::vector<NodeId>> local_done;
+  RunPhases(config, &local, std::move(work), &local_done, &result.stats);
+
+  result.groups.reserve(local_done.size());
+  for (auto& group : local_done) {
+    for (NodeId& u : group) u = comp[static_cast<size_t>(u)];
+    result.groups.push_back(std::move(group));
+  }
+  for (EdgeId e = 0; e < static_cast<EdgeId>(local.num_edges_total()); ++e) {
+    if (!local.edge_alive(e)) {
+      result.removed_edges.push_back(parent_edge[static_cast<size_t>(e)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> GraLMatchCleanup::Run(Graph* graph,
+                                                       CleanupStats* stats,
+                                                       ThreadPool* pool) const {
+  Stopwatch watch;
+  std::vector<std::vector<NodeId>> done;  // components at or below mu
+  std::vector<std::vector<NodeId>> components = graph->ConnectedComponents();
+
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    std::deque<std::vector<NodeId>> work;
+    for (auto& comp : components) work.push_back(std::move(comp));
+    RunPhases(config_, graph, std::move(work), &done, stats);
+  } else {
+    // Components that can still lose edges in either phase (kNoMinCut is
+    // SIZE_MAX, so min() keeps plain `mu` for the "-BC" variant).
+    const size_t untouched_max = std::min(config_.mu, config_.gamma);
+    std::vector<std::vector<NodeId>> oversized;
+    for (auto& comp : components) {
+      if (comp.size() <= untouched_max) {
+        done.push_back(std::move(comp));
+      } else {
+        oversized.push_back(std::move(comp));
+      }
+    }
+    std::vector<ComponentCleanup> results(oversized.size());
+    ParallelFor(pool, 0, oversized.size(), [&](size_t i) {
+      results[i] = CleanupComponentCopy(config_, *graph, oversized[i]);
+    });
+    for (ComponentCleanup& r : results) {
+      for (EdgeId e : r.removed_edges) graph->RemoveEdge(e);
+      for (auto& group : r.groups) done.push_back(std::move(group));
+      if (stats) {
+        stats->min_cut_calls += r.stats.min_cut_calls;
+        stats->min_cut_edges_removed += r.stats.min_cut_edges_removed;
+        stats->betweenness_calls += r.stats.betweenness_calls;
+        stats->betweenness_edges_removed += r.stats.betweenness_edges_removed;
+      }
     }
   }
 

@@ -16,6 +16,8 @@
 
 namespace gralmatch {
 
+class ThreadPool;
+
 /// Thresholds of Algorithm 1.
 struct GraphCleanupConfig {
   /// Components larger than gamma are split with Minimum Edge Cut.
@@ -58,8 +60,14 @@ class GraLMatchCleanup {
   /// Run the cleanup, tombstoning removed edges in `graph`. Returns the
   /// connected components (entity groups) of the cleaned graph, singletons
   /// included.
+  ///
+  /// With a `pool` of more than one worker, oversized components are cleaned
+  /// in parallel (they are edge-disjoint and independent); the result —
+  /// groups, removed edge set, and all CleanupStats counters except the
+  /// wall-clock `seconds` — is bitwise-identical to the serial run.
   std::vector<std::vector<NodeId>> Run(Graph* graph,
-                                       CleanupStats* stats = nullptr) const;
+                                       CleanupStats* stats = nullptr,
+                                       ThreadPool* pool = nullptr) const;
 
   const GraphCleanupConfig& config() const { return config_; }
 

@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
+#include <memory>
+
 #include "common/stopwatch.h"
+#include "exec/parallel.h"
 
 namespace gralmatch {
 
@@ -19,26 +22,46 @@ std::vector<int64_t> PipelineResult::GroupOfRecord(size_t num_records) const {
 PipelineResult EntityGroupPipeline::Run(const Dataset& dataset,
                                         const std::vector<Candidate>& candidates,
                                         const PairwiseMatcher& matcher) const {
+  std::unique_ptr<ThreadPool> pool = MaybeMakePool(config_.num_threads);
+
+  // Pairwise prediction. The stopwatch wraps the whole scoring region
+  // (dispatch to join), not the per-pair calls, so inference_seconds is the
+  // stage's wall-clock at any thread count. Each iteration writes only its
+  // own flag slot, keeping the positive set order-identical to serial.
   Stopwatch watch;
+  std::vector<char> is_positive(candidates.size(), 0);
+  ParallelFor(
+      pool.get(), 0, candidates.size(),
+      [&](size_t i) {
+        const Record& a = dataset.records.at(candidates[i].pair.a);
+        const Record& b = dataset.records.at(candidates[i].pair.b);
+        is_positive[i] =
+            matcher.MatchProbability(a, b) >= config_.match_threshold ? 1 : 0;
+      },
+      /*grain=*/16);
+  const double inference_seconds = watch.ElapsedSeconds();
+
   std::vector<Candidate> positives;
   positives.reserve(candidates.size() / 4 + 1);
-  for (const auto& cand : candidates) {
-    const Record& a = dataset.records.at(cand.pair.a);
-    const Record& b = dataset.records.at(cand.pair.b);
-    if (matcher.MatchProbability(a, b) >= config_.match_threshold) {
-      positives.push_back(cand);
-    }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (is_positive[i]) positives.push_back(candidates[i]);
   }
-  double inference_seconds = watch.ElapsedSeconds();
 
   PipelineResult result =
-      RunOnPredictions(dataset.records.size(), positives);
+      RunOnPredictionsImpl(dataset.records.size(), positives, pool.get());
   result.inference_seconds = inference_seconds;
   return result;
 }
 
 PipelineResult EntityGroupPipeline::RunOnPredictions(
     size_t num_records, const std::vector<Candidate>& positives) const {
+  std::unique_ptr<ThreadPool> pool = MaybeMakePool(config_.num_threads);
+  return RunOnPredictionsImpl(num_records, positives, pool.get());
+}
+
+PipelineResult EntityGroupPipeline::RunOnPredictionsImpl(
+    size_t num_records, const std::vector<Candidate>& positives,
+    ThreadPool* pool) const {
   PipelineResult result;
   Graph graph(num_records);
   std::vector<uint32_t> edge_provenance;
@@ -54,11 +77,11 @@ PipelineResult EntityGroupPipeline::RunOnPredictions(
   // Stage 2 snapshot: components implied by the raw predictions.
   result.pre_cleanup_components = graph.ConnectedComponents();
 
-  // Pre Graph Cleanup + Algorithm 1.
+  // Pre Graph Cleanup + Algorithm 1 (components fan out across `pool`).
   PreCleanup(&graph, edge_provenance, config_.pre_cleanup_threshold,
              &result.cleanup_stats);
   GraLMatchCleanup cleanup(config_.cleanup);
-  result.groups = cleanup.Run(&graph, &result.cleanup_stats);
+  result.groups = cleanup.Run(&graph, &result.cleanup_stats, pool);
   return result;
 }
 

@@ -17,6 +17,8 @@
 
 namespace gralmatch {
 
+class ThreadPool;
+
 /// Pipeline parameters.
 struct PipelineConfig {
   GraphCleanupConfig cleanup;
@@ -25,6 +27,12 @@ struct PipelineConfig {
   /// Pre-Cleanup component-size threshold (paper: 50 for the company
   /// datasets, 0 disables the step).
   size_t pre_cleanup_threshold = 0;
+  /// Worker threads for candidate scoring and per-component cleanup.
+  /// 1 (the default) runs fully serial; any N > 1 produces bitwise-identical
+  /// PipelineResult groups, pairs, and cleanup counters (only the wall-clock
+  /// fields vary). The matcher's MatchProbability must be const-thread-safe,
+  /// which holds for all matchers in this repo.
+  size_t num_threads = 1;
 };
 
 /// Snapshots of the three evaluation stages.
@@ -38,7 +46,10 @@ struct PipelineResult {
   std::vector<std::vector<NodeId>> groups;
 
   CleanupStats cleanup_stats;
-  double inference_seconds = 0.0;  ///< pairwise prediction wall-clock
+  /// Wall-clock of the whole pairwise prediction stage, measured from
+  /// dispatch to join around the (possibly parallel) scoring region — never
+  /// inside it — so it stays meaningful under concurrency.
+  double inference_seconds = 0.0;
 
   /// Group id per record (singletons included), derived from `groups`;
   /// useful as the company-matching input of the Issuer Match blocking.
@@ -65,6 +76,11 @@ class EntityGroupPipeline {
   const PipelineConfig& config() const { return config_; }
 
  private:
+  /// Shared implementation; `pool` may be null (serial).
+  PipelineResult RunOnPredictionsImpl(size_t num_records,
+                                      const std::vector<Candidate>& positives,
+                                      ThreadPool* pool) const;
+
   PipelineConfig config_;
 };
 

@@ -1,0 +1,74 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+namespace gralmatch {
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t grain) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const bool serial = pool == nullptr || pool->num_threads() <= 1 ||
+                      pool->InWorkerThread() || n <= grain;
+  if (serial) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Static contiguous chunking: a few chunks per worker to absorb skew
+  // without giving up cache locality.
+  const size_t max_chunks = pool->num_threads() * 4;
+  const size_t num_chunks = std::min((n + grain - 1) / grain, max_chunks);
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::exception_ptr error;
+    size_t error_chunk = std::numeric_limits<size_t>::max();
+  };
+  // shared_ptr: chunk tasks may briefly outlive the wait loop's final wakeup.
+  auto state = std::make_shared<State>();
+  state->remaining = num_chunks;
+
+  const size_t base = n / num_chunks;
+  const size_t extra = n % num_chunks;
+  size_t lo = begin;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t hi = lo + base + (c < extra ? 1 : 0);
+    pool->Submit([state, &fn, c, lo, hi] {
+      std::exception_ptr err;
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (err && c < state->error_chunk) {
+        state->error_chunk = c;
+        state->error = err;
+      }
+      if (--state->remaining == 0) state->cv.notify_all();
+    });
+    lo = hi;
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] { return state->remaining == 0; });
+  // Take ownership of the error so the exception object's final release
+  // (and the free) happens on this thread, not inside a worker's late
+  // ~State — the exception_ptr refcount lives in libstdc++ and is invisible
+  // to TSan, so a cross-thread release would be flagged (and genuinely
+  // leaves the caller reading an object a worker may free).
+  std::exception_ptr error = std::move(state->error);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,66 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace gralmatch {
+
+namespace {
+/// The pool whose worker loop the current thread is running, if any.
+thread_local const ThreadPool* g_current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() const { return g_current_pool == this; }
+
+size_t ThreadPool::DefaultNumThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  g_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-stop: only exit once the queue is empty so destruction
+      // under load completes every submitted task.
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  g_current_pool = nullptr;
+}
+
+std::unique_ptr<ThreadPool> MaybeMakePool(size_t num_threads) {
+  if (num_threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,70 @@
+#ifndef GRALMATCH_EXEC_THREAD_POOL_H_
+#define GRALMATCH_EXEC_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// Fixed-size worker pool for the embarrassingly parallel loops of the
+/// GraLMatch pipeline (candidate scoring, blocking, per-component graph
+/// cleanup). Deliberately work-stealing-free: tasks are taken from a single
+/// FIFO queue, which keeps scheduling simple and cache behaviour predictable
+/// for the contiguous-chunk decomposition used by ParallelFor (parallel.h).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gralmatch {
+
+/// \brief Fixed-size FIFO thread pool.
+///
+/// Lifecycle: workers are spawned in the constructor and joined in the
+/// destructor. The destructor *drains* the queue — every task submitted
+/// before destruction runs to completion — so destroying a pool under load
+/// is well-defined.
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw out of the callable when submitted
+  /// directly (ParallelFor wraps user code and captures exceptions); a task
+  /// may Submit further tasks, including from inside a worker.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// True iff the calling thread is one of *this* pool's workers. Used by
+  /// ParallelFor to run nested parallel sections inline instead of
+  /// deadlocking on a saturated queue.
+  bool InWorkerThread() const;
+
+  /// Hardware concurrency, clamped to at least 1.
+  static size_t DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A pool of `num_threads` workers, or null when `num_threads <= 1` — the
+/// shape every ParallelFor call site wants for its serial fallback.
+std::unique_ptr<ThreadPool> MaybeMakePool(size_t num_threads);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_EXEC_THREAD_POOL_H_

@@ -8,6 +8,7 @@
 #include "core/embeddedness.h"
 #include "core/label_propagation.h"
 #include "core/pipeline.h"
+#include "exec/thread_pool.h"
 #include "matching/baselines.h"
 
 namespace gralmatch {
@@ -110,6 +111,35 @@ TEST(CleanupTest, AllGroupsRespectMuOnDenseGraph) {
   auto groups = cleanup.Run(&g);
   for (const auto& comp : groups) {
     EXPECT_LE(comp.size(), config.mu);
+  }
+}
+
+TEST(CleanupTest, ParallelRunMatchesSerialOnBridgedCliques) {
+  GraphCleanupConfig config;
+  config.gamma = 6;
+  config.mu = 5;
+  GraLMatchCleanup cleanup(config);
+
+  Graph serial_g;
+  EdgeId serial_bridge;
+  BuildTwoCliques(&serial_g, &serial_bridge);
+  CleanupStats serial_stats;
+  auto serial_groups = cleanup.Run(&serial_g, &serial_stats);
+
+  for (size_t threads : {2u, 4u}) {
+    Graph parallel_g;
+    EdgeId parallel_bridge;
+    BuildTwoCliques(&parallel_g, &parallel_bridge);
+    CleanupStats parallel_stats;
+    ThreadPool pool(threads);
+    auto parallel_groups = cleanup.Run(&parallel_g, &parallel_stats, &pool);
+
+    EXPECT_EQ(parallel_groups, serial_groups) << "threads=" << threads;
+    EXPECT_FALSE(parallel_g.edge_alive(parallel_bridge));
+    EXPECT_EQ(parallel_stats.min_cut_calls, serial_stats.min_cut_calls);
+    EXPECT_EQ(parallel_stats.min_cut_edges_removed,
+              serial_stats.min_cut_edges_removed);
+    EXPECT_EQ(parallel_g.num_edges_alive(), serial_g.num_edges_alive());
   }
 }
 

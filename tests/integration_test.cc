@@ -159,6 +159,125 @@ TEST_F(FinancialEndToEnd, IdHeuristicAloneIsImprecise) {
   EXPECT_GT(precision, 0.8);  // but it is still a strong signal
 }
 
+// ---------------------------------------------------------------------------
+// Parallel execution determinism: the pipeline output must be identical for
+// every num_threads, and wall-clock-free CleanupStats counters must agree.
+// ---------------------------------------------------------------------------
+
+void ExpectSameCountersAs(const CleanupStats& actual,
+                          const CleanupStats& expected) {
+  EXPECT_EQ(actual.pre_cleanup_edges_removed,
+            expected.pre_cleanup_edges_removed);
+  EXPECT_EQ(actual.min_cut_calls, expected.min_cut_calls);
+  EXPECT_EQ(actual.min_cut_edges_removed, expected.min_cut_edges_removed);
+  EXPECT_EQ(actual.betweenness_calls, expected.betweenness_calls);
+  EXPECT_EQ(actual.betweenness_edges_removed,
+            expected.betweenness_edges_removed);
+}
+
+TEST_F(FinancialEndToEnd, PipelineIdenticalAcrossThreadCounts) {
+  CandidateSet candidates = CompanyCandidates();
+  auto candidate_vec = candidates.ToVector();
+
+  PipelineConfig config;
+  config.cleanup.gamma = 25;
+  config.cleanup.mu = 5;
+  config.pre_cleanup_threshold = 50;
+  PipelineResult baseline = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, *matcher_);
+  EXPECT_GT(baseline.inference_seconds, 0.0);
+
+  for (size_t threads : {2u, 8u}) {
+    config.num_threads = threads;
+    PipelineResult result = EntityGroupPipeline(config).Run(
+        bench_->companies, candidate_vec, *matcher_);
+    EXPECT_EQ(result.predicted_pairs, baseline.predicted_pairs)
+        << "threads=" << threads;
+    EXPECT_EQ(result.pre_cleanup_components, baseline.pre_cleanup_components)
+        << "threads=" << threads;
+    EXPECT_EQ(result.groups, baseline.groups) << "threads=" << threads;
+    ExpectSameCountersAs(result.cleanup_stats, baseline.cleanup_stats);
+    EXPECT_GT(result.inference_seconds, 0.0) << "threads=" << threads;
+  }
+}
+
+TEST_F(FinancialEndToEnd, BlockersIdenticalAcrossThreadCounts) {
+  auto candidates_with_threads = [this](size_t threads) {
+    CandidateSet out;
+    IdOverlapBlocker::Options id_opts;
+    id_opts.num_threads = threads;
+    IdOverlapBlocker id_blocker(&bench_->securities.records, id_opts);
+    id_blocker.AddCandidates(bench_->companies, &out);
+    TokenOverlapBlocker::Options topts;
+    topts.top_n = 5;
+    topts.num_threads = threads;
+    TokenOverlapBlocker token_blocker(topts);
+    token_blocker.AddCandidates(bench_->companies, &out);
+    return out.ToVector();
+  };
+
+  auto baseline = candidates_with_threads(1);
+  ASSERT_GT(baseline.size(), 0u);
+  for (size_t threads : {2u, 8u}) {
+    auto parallel = candidates_with_threads(threads);
+    ASSERT_EQ(parallel.size(), baseline.size()) << "threads=" << threads;
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(parallel[i].pair, baseline[i].pair)
+          << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(parallel[i].provenance, baseline[i].provenance)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST_F(FinancialEndToEnd, InferenceSecondsPopulatedOnEveryRunPath) {
+  CandidateSet candidates = CompanyCandidates();
+  auto candidate_vec = candidates.ToVector();
+  ASSERT_GT(candidate_vec.size(), 0u);
+
+  PipelineConfig config;
+  config.pre_cleanup_threshold = 50;
+  for (size_t threads : {1u, 4u}) {
+    config.num_threads = threads;
+    PipelineResult result = EntityGroupPipeline(config).Run(
+        bench_->companies, candidate_vec, *matcher_);
+    // Run() times the scoring stage outside the (possibly parallel) loop;
+    // the stage scores thousands of pairs, so the wall-clock is non-zero.
+    EXPECT_GT(result.inference_seconds, 0.0) << "threads=" << threads;
+    EXPECT_GT(result.cleanup_stats.seconds, 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(WdcIntegration, RunOnPredictionsIdenticalAcrossThreadCounts) {
+  WdcConfig config;
+  config.num_entities = 150;
+  config.seed = 77;
+  Dataset products = WdcProductsGenerator(config).Generate();
+
+  std::vector<Candidate> positives;
+  for (const auto& pair : products.truth.AllTruePairs()) {
+    positives.push_back({pair, kBlockerTokenOverlap});
+  }
+
+  PipelineConfig pipe_config;
+  pipe_config.cleanup.gamma = 25;
+  pipe_config.cleanup.mu = 5;
+  PipelineResult baseline = EntityGroupPipeline(pipe_config)
+                                .RunOnPredictions(products.records.size(),
+                                                  positives);
+
+  for (size_t threads : {2u, 8u}) {
+    pipe_config.num_threads = threads;
+    PipelineResult result = EntityGroupPipeline(pipe_config)
+                                .RunOnPredictions(products.records.size(),
+                                                  positives);
+    EXPECT_EQ(result.predicted_pairs, baseline.predicted_pairs);
+    EXPECT_EQ(result.pre_cleanup_components, baseline.pre_cleanup_components);
+    EXPECT_EQ(result.groups, baseline.groups) << "threads=" << threads;
+    ExpectSameCountersAs(result.cleanup_stats, baseline.cleanup_stats);
+  }
+}
+
 TEST(WdcIntegration, HeterogeneousGroupsHurtFixedMu) {
   // The paper's WDC finding: with heterogeneous group sizes, Algorithm 1's
   // mu = #sources assumption over-splits large groups (recall loss).

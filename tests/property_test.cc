@@ -20,6 +20,7 @@
 #include "datagen/wdc_gen.h"
 #include "eval/metrics.h"
 #include "eval/pr_curve.h"
+#include "exec/thread_pool.h"
 #include "matching/serializer.h"
 #include "matching/variants.h"
 
@@ -133,8 +134,142 @@ TEST_P(CleanupPropertyTest, SizeAgnosticCleanupsAlsoPartition) {
   check_partition(EmbeddednessGroups(&g2));
 }
 
+TEST_P(CleanupPropertyTest, ParallelCleanupMatchesSerialReference) {
+  for (size_t threads : {2u, 3u, 8u}) {
+    Rng rng_serial(GetParam() ^ 0x50), rng_parallel(GetParam() ^ 0x50);
+    size_t n1 = 0, n2 = 0;
+    Graph serial_graph = MakeNoisyCommunities(&rng_serial, &n1);
+    Graph parallel_graph = MakeNoisyCommunities(&rng_parallel, &n2);
+    ASSERT_EQ(n1, n2);
+
+    // Small gamma/mu so several components are oversized and both phases run.
+    GraLMatchCleanup cleanup(GraphCleanupConfig{8, 4});
+    CleanupStats serial_stats, parallel_stats;
+    auto serial_groups = cleanup.Run(&serial_graph, &serial_stats);
+    ThreadPool pool(threads);
+    auto parallel_groups =
+        cleanup.Run(&parallel_graph, &parallel_stats, &pool);
+
+    EXPECT_EQ(parallel_groups, serial_groups) << "threads=" << threads;
+    EXPECT_EQ(parallel_graph.num_edges_alive(), serial_graph.num_edges_alive());
+    EXPECT_EQ(parallel_stats.min_cut_calls, serial_stats.min_cut_calls);
+    EXPECT_EQ(parallel_stats.min_cut_edges_removed,
+              serial_stats.min_cut_edges_removed);
+    EXPECT_EQ(parallel_stats.betweenness_calls, serial_stats.betweenness_calls);
+    EXPECT_EQ(parallel_stats.betweenness_edges_removed,
+              serial_stats.betweenness_edges_removed);
+    // The exact removed-edge *set* must agree, not just the count.
+    for (EdgeId e = 0; e < static_cast<EdgeId>(serial_graph.num_edges_total());
+         ++e) {
+      ASSERT_EQ(parallel_graph.edge_alive(e), serial_graph.edge_alive(e))
+          << "threads=" << threads << " edge=" << e;
+    }
+  }
+}
+
+TEST_P(CleanupPropertyTest, ParallelMatchesSerialOnVariantConfigs) {
+  // The "-MEC" (gamma == mu) and "-BC" (no min cut) sensitivity variants take
+  // different phase paths; the parallel fan-out must match on all of them.
+  const GraphCleanupConfig configs[] = {
+      {6, 6},                                  // -MEC: betweenness is a no-op
+      {GraphCleanupConfig::kNoMinCut, 4},      // -BC: betweenness only
+      {10, 3},                                 // both phases active
+  };
+  for (const auto& config : configs) {
+    Rng rng_serial(GetParam() ^ 0x60), rng_parallel(GetParam() ^ 0x60);
+    size_t n1 = 0, n2 = 0;
+    Graph serial_graph = MakeNoisyCommunities(&rng_serial, &n1);
+    Graph parallel_graph = MakeNoisyCommunities(&rng_parallel, &n2);
+    GraLMatchCleanup cleanup(config);
+    ThreadPool pool(4);
+    EXPECT_EQ(cleanup.Run(&parallel_graph, nullptr, &pool),
+              cleanup.Run(&serial_graph))
+        << "gamma=" << config.gamma << " mu=" << config.mu;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CleanupPropertyTest,
                          ::testing::Values(1u, 7u, 99u, 1234u, 777777u));
+
+// ---------------------------------------------------------------------------
+// Parallel cleanup stress: larger random graphs, varying thread counts,
+// always compared against the serial reference run. Runs under ASan/UBSan in
+// the CI sanitizer job like every property suite, and under TSan in the
+// dedicated thread-sanitizer job.
+// ---------------------------------------------------------------------------
+
+struct ParallelStressCase {
+  uint64_t seed;
+  size_t threads;
+};
+
+class ParallelCleanupStressTest
+    : public ::testing::TestWithParam<ParallelStressCase> {
+ protected:
+  /// Bigger and denser than MakeNoisyCommunities: a handful of communities
+  /// of up to ~45 nodes with random chords and a few cross-community
+  /// bridges, so min-cut and betweenness both do real work per component.
+  Graph MakeLargeNoisyGraph(Rng* rng) {
+    size_t communities = 4 + rng->Uniform(3);
+    std::vector<std::pair<size_t, size_t>> spans;
+    size_t next = 0;
+    for (size_t c = 0; c < communities; ++c) {
+      size_t size = 12 + rng->Uniform(34);
+      spans.emplace_back(next, next + size);
+      next += size;
+    }
+    Graph g(next);
+    for (const auto& [begin, end] : spans) {
+      for (size_t a = begin; a < end; ++a) {
+        size_t b = a + 1 == end ? begin : a + 1;
+        if (b != a) {
+          (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+        }
+        for (size_t c2 = a + 2; c2 < end; ++c2) {
+          if (rng->Bernoulli(0.15)) {
+            (void)g.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(c2));
+          }
+        }
+      }
+    }
+    size_t bridges = rng->Uniform(6);
+    for (size_t k = 0; k < bridges; ++k) {
+      NodeId u = static_cast<NodeId>(rng->Uniform(next));
+      NodeId v = static_cast<NodeId>(rng->Uniform(next));
+      if (u != v) (void)g.AddEdge(u, v);
+    }
+    return g;
+  }
+};
+
+TEST_P(ParallelCleanupStressTest, MatchesSerialReference) {
+  Rng rng_serial(GetParam().seed), rng_parallel(GetParam().seed);
+  Graph serial_graph = MakeLargeNoisyGraph(&rng_serial);
+  Graph parallel_graph = MakeLargeNoisyGraph(&rng_parallel);
+
+  GraLMatchCleanup cleanup(GraphCleanupConfig{20, 5});
+  CleanupStats serial_stats, parallel_stats;
+  auto serial_groups = cleanup.Run(&serial_graph, &serial_stats);
+  ThreadPool pool(GetParam().threads);
+  auto parallel_groups = cleanup.Run(&parallel_graph, &parallel_stats, &pool);
+
+  EXPECT_EQ(parallel_groups, serial_groups);
+  EXPECT_EQ(parallel_graph.num_edges_alive(), serial_graph.num_edges_alive());
+  EXPECT_EQ(parallel_stats.min_cut_edges_removed,
+            serial_stats.min_cut_edges_removed);
+  EXPECT_EQ(parallel_stats.betweenness_edges_removed,
+            serial_stats.betweenness_edges_removed);
+  for (const auto& comp : parallel_groups) {
+    EXPECT_LE(comp.size(), 5u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, ParallelCleanupStressTest,
+    ::testing::Values(ParallelStressCase{17, 2}, ParallelStressCase{17, 8},
+                      ParallelStressCase{404, 3}, ParallelStressCase{404, 16},
+                      ParallelStressCase{90210, 4},
+                      ParallelStressCase{777, 2}));
 
 // ---------------------------------------------------------------------------
 // Blocking soundness on generated datasets.
