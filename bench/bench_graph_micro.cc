@@ -10,13 +10,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "blocking/id_overlap.h"
+#include "blocking/token_overlap.h"
 #include "common/rng.h"
 #include "core/cleanup.h"
+#include "core/pipeline.h"
+#include "datagen/financial_gen.h"
 #include "exec/parallel.h"
 #include "graph/betweenness.h"
 #include "graph/graph.h"
 #include "graph/min_cut.h"
+#include "matching/baselines.h"
 #include "nn/transformer.h"
+#include "stream/incremental_pipeline.h"
 #include "text/similarity.h"
 #include "text/vocab.h"
 
@@ -133,6 +142,89 @@ void BM_ParallelForDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads")
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Incremental ingestion vs. full recomputation. Both benchmarks process the
+// same schedule — the securities fixture arriving in `batches` equal batches
+// with a result required after every batch — so the ratio of the two rows is
+// the streaming win. Compare rows within one artifact only.
+// ---------------------------------------------------------------------------
+
+/// Securities records of a mid-sized financial fixture (shared, built once).
+const std::vector<Record>& IncrementalBenchRecords() {
+  static const std::vector<Record>* records = [] {
+    SyntheticConfig config;
+    config.seed = 505;
+    config.num_groups = 120;
+    FinancialBenchmark bench = FinancialGenerator(config).Generate();
+    auto* out = new std::vector<Record>();
+    out->reserve(bench.securities.records.size());
+    for (size_t i = 0; i < bench.securities.records.size(); ++i) {
+      out->push_back(bench.securities.records.at(static_cast<RecordId>(i)));
+    }
+    return out;
+  }();
+  return *records;
+}
+
+IncrementalPipelineConfig IncrementalBenchConfig() {
+  IncrementalPipelineConfig config;
+  config.pipeline.cleanup.gamma = 25;
+  config.pipeline.cleanup.mu = 5;
+  config.pipeline.pre_cleanup_threshold = 50;
+  config.token.top_n = 5;
+  return config;
+}
+
+void BM_IncrementalIngest(benchmark::State& state) {
+  const size_t batches = static_cast<size_t>(state.range(0));
+  const std::vector<Record>& records = IncrementalBenchRecords();
+  const size_t batch_size = (records.size() + batches - 1) / batches;
+  HeuristicIdMatcher matcher;
+  for (auto _ : state) {
+    IncrementalPipeline pipeline(IncrementalBenchConfig());
+    for (size_t offset = 0; offset < records.size(); offset += batch_size) {
+      const size_t end = std::min(offset + batch_size, records.size());
+      std::vector<Record> batch(records.begin() + static_cast<long>(offset),
+                                records.begin() + static_cast<long>(end));
+      pipeline.Ingest(batch, matcher);
+      PipelineResult result = pipeline.Snapshot();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_IncrementalIngest)->Arg(4)->Arg(16)->ArgName("batches")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRecompute(benchmark::State& state) {
+  const size_t batches = static_cast<size_t>(state.range(0));
+  const std::vector<Record>& records = IncrementalBenchRecords();
+  const size_t batch_size = (records.size() + batches - 1) / batches;
+  const IncrementalPipelineConfig config = IncrementalBenchConfig();
+  HeuristicIdMatcher matcher;
+  // Prefix tables built once: the timed region is blocking + scoring +
+  // cleanup from scratch after every batch, which is what the incremental
+  // path replaces.
+  std::vector<Dataset> prefixes;
+  for (size_t offset = 0; offset < records.size(); offset += batch_size) {
+    const size_t end = std::min(offset + batch_size, records.size());
+    Dataset ds;
+    for (size_t i = 0; i < end; ++i) ds.records.Add(records[i]);
+    prefixes.push_back(std::move(ds));
+  }
+  for (auto _ : state) {
+    for (const Dataset& prefix : prefixes) {
+      CandidateSet candidates;
+      IdOverlapBlocker().AddCandidates(prefix, &candidates);
+      TokenOverlapBlocker(config.token).AddCandidates(prefix, &candidates);
+      PipelineResult result = EntityGroupPipeline(config.pipeline)
+                                  .Run(prefix, candidates.ToVector(), matcher);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_FullRecompute)->Arg(4)->Arg(16)->ArgName("batches")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Levenshtein(benchmark::State& state) {
   std::string a = "crowdstrike holdings incorporated";

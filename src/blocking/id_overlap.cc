@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "blocking/incremental_index.h"
 #include "exec/parallel.h"
 
 namespace gralmatch {
@@ -16,21 +17,6 @@ const std::vector<std::string>& IdentifierAttributes() {
 }
 
 namespace {
-
-/// Map identifier value -> records carrying it.
-std::unordered_map<std::string, std::vector<RecordId>> BuildIdIndex(
-    const RecordTable& table) {
-  std::unordered_map<std::string, std::vector<RecordId>> index;
-  for (size_t i = 0; i < table.size(); ++i) {
-    const Record& rec = table.at(static_cast<RecordId>(i));
-    for (const auto& attr : IdentifierAttributes()) {
-      for (const auto& value : rec.GetMulti(attr)) {
-        index[value].push_back(static_cast<RecordId>(i));
-      }
-    }
-  }
-  return index;
-}
 
 /// Expand every identifier bucket into its cross-source pairs, fanning the
 /// buckets out over `num_threads` workers. Each bucket writes to its own
@@ -78,10 +64,14 @@ void EmitBucketPairs(
 void IdOverlapBlocker::AddCandidates(const Dataset& dataset,
                                      CandidateSet* out) const {
   if (securities_ == nullptr) {
-    // Securities mode: direct identifier overlap.
-    auto index = BuildIdIndex(dataset.records);
-    EmitBucketPairs(index, dataset.records, kMaxBucket, options_.num_threads,
-                    kind(), out);
+    // Securities mode: direct identifier overlap, delegated to the
+    // incremental index with one batch holding every record so the
+    // streaming path (stream/) shares this implementation and stays
+    // equivalent to a from-scratch run by construction.
+    std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+    IncrementalIdOverlapIndex index(kMaxBucket);
+    CandidateDelta delta = index.AddRecords(dataset.records, pool.get());
+    for (const RecordPair& pair : delta.added) out->Add(pair, kind());
     return;
   }
 

@@ -1,0 +1,291 @@
+#include "blocking/incremental_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/parallel.h"
+#include "text/normalize.h"
+
+namespace gralmatch {
+
+namespace {
+
+/// Finalize a refcount-delta pass: compare each touched pair's pre-batch
+/// refcount snapshot against its current one, emit membership transitions,
+/// and drop zero entries. Deltas are sorted so callers see a deterministic
+/// order regardless of hash-map iteration.
+CandidateDelta FinalizeDelta(
+    const std::unordered_map<RecordPair, uint32_t, RecordPairHash>& old_ref,
+    std::unordered_map<RecordPair, uint32_t, RecordPairHash>* refcount) {
+  CandidateDelta delta;
+  for (const auto& [pair, old_count] : old_ref) {
+    auto it = refcount->find(pair);
+    const uint32_t now = it == refcount->end() ? 0 : it->second;
+    if (old_count == 0 && now > 0) {
+      delta.added.push_back(pair);
+    } else if (old_count > 0 && now == 0) {
+      delta.removed.push_back(pair);
+    }
+    if (now == 0 && it != refcount->end()) refcount->erase(it);
+  }
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  return delta;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Token Overlap
+// ---------------------------------------------------------------------------
+
+std::vector<RecordId> IncrementalTokenOverlapIndex::RankRecord(
+    const RecordTable& records, RecordId record) const {
+  std::unordered_map<RecordId, uint32_t> overlap;
+  const SourceId source = records.at(record).source();
+  for (int32_t tid : record_tokens_[static_cast<size_t>(record)]) {
+    const TokenInfo& info = tokens_[static_cast<size_t>(tid)];
+    if (info.df < 2 || info.df > max_df_) continue;
+    for (RecordId other : info.postings) {
+      if (other == record) continue;
+      if (records.at(other).source() == source) continue;
+      ++overlap[other];
+    }
+  }
+  std::vector<std::pair<RecordId, uint32_t>> ranked;
+  ranked.reserve(overlap.size());
+  for (const auto& [rid, cnt] : overlap) {
+    if (cnt >= options_.min_overlap) ranked.emplace_back(rid, cnt);
+  }
+  const size_t keep = std::min(options_.top_n, ranked.size());
+  auto by_count_then_id = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
+                    ranked.end(), by_count_then_id);
+  std::vector<RecordId> kept;
+  kept.reserve(keep);
+  for (size_t k = 0; k < keep; ++k) kept.push_back(ranked[k].first);
+  return kept;
+}
+
+CandidateDelta IncrementalTokenOverlapIndex::AddRecords(
+    const RecordTable& records, ThreadPool* pool) {
+  const size_t old_n = num_records_;
+  const size_t new_n = records.size();
+  if (new_n <= old_n) return {};
+
+  // Tokenize the new records (deduplicated tokens); records are independent,
+  // so this fans out; interning below stays serial so ids are deterministic.
+  std::vector<std::vector<std::string>> new_tokens(new_n - old_n);
+  ParallelFor(
+      pool, 0, new_tokens.size(),
+      [&](size_t k) {
+        auto toks = TokenizeContentWords(
+            records.at(static_cast<RecordId>(old_n + k)).AllText());
+        std::sort(toks.begin(), toks.end());
+        toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+        new_tokens[k] = std::move(toks);
+      },
+      /*grain=*/32);
+
+  // Intern tokens and update document frequencies / postings in place,
+  // remembering each touched token's pre-batch df.
+  const uint32_t old_max_df = max_df_;
+  std::unordered_map<int32_t, uint32_t> old_df;
+  record_tokens_.resize(new_n);
+  for (size_t k = 0; k < new_tokens.size(); ++k) {
+    const RecordId rid = static_cast<RecordId>(old_n + k);
+    auto& ids = record_tokens_[static_cast<size_t>(rid)];
+    ids.reserve(new_tokens[k].size());
+    for (auto& tok : new_tokens[k]) {
+      auto [it, inserted] =
+          token_id_.emplace(std::move(tok), static_cast<int32_t>(tokens_.size()));
+      if (inserted) tokens_.emplace_back();
+      const int32_t tid = it->second;
+      TokenInfo& info = tokens_[static_cast<size_t>(tid)];
+      old_df.emplace(tid, info.df);  // keeps the first (pre-batch) value
+      if (info.df > 0) df_buckets_[info.df].erase(tid);
+      ++info.df;
+      df_buckets_[info.df].insert(tid);
+      info.postings.push_back(rid);
+      ids.push_back(tid);
+    }
+  }
+  num_records_ = new_n;
+  max_df_ = static_cast<uint32_t>(options_.max_token_df *
+                                  static_cast<double>(new_n)) +
+            1;
+
+  // Dirty records: the new records, plus holders of any token whose
+  // postings or eligibility changed. A token matters only while eligible
+  // (2 <= df <= max_df) on at least one side of the batch; tokens that were
+  // and remain out of bounds cannot change any ranking.
+  std::vector<char> dirty(new_n, 0);
+  for (size_t r = old_n; r < new_n; ++r) dirty[r] = 1;
+  auto mark_holders = [&](int32_t tid) {
+    for (RecordId r : tokens_[static_cast<size_t>(tid)].postings) {
+      dirty[static_cast<size_t>(r)] = 1;
+    }
+  };
+  for (const auto& [tid, df_before] : old_df) {
+    const uint32_t df_now = tokens_[static_cast<size_t>(tid)].df;
+    const bool was_eligible = df_before >= 2 && df_before <= old_max_df;
+    const bool is_eligible = df_now >= 2 && df_now <= max_df_;
+    if (was_eligible || is_eligible) mark_holders(tid);
+  }
+  // The max-df cap rises with the record count: untouched tokens with df in
+  // (old cap, new cap] were over the cap and are now re-admitted.
+  for (uint32_t d = old_max_df + 1; d <= max_df_; ++d) {
+    auto bucket = df_buckets_.find(d);
+    if (bucket == df_buckets_.end()) continue;
+    for (int32_t tid : bucket->second) {
+      if (!old_df.count(tid)) mark_holders(tid);
+    }
+  }
+
+  // Re-rank every dirty record into its own slot (deterministic), then diff
+  // against its previous top-n list serially.
+  std::vector<RecordId> dirty_ids;
+  for (size_t r = 0; r < new_n; ++r) {
+    if (dirty[r]) dirty_ids.push_back(static_cast<RecordId>(r));
+  }
+  std::vector<std::vector<RecordId>> new_kept(dirty_ids.size());
+  ParallelFor(
+      pool, 0, dirty_ids.size(),
+      [&](size_t k) { new_kept[k] = RankRecord(records, dirty_ids[k]); },
+      /*grain=*/4);
+
+  kept_.resize(new_n);
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_ref;
+  auto bump = [&](const RecordPair& pair, int delta) {
+    uint32_t& count = refcount_[pair];
+    old_ref.emplace(pair, count);  // snapshot the pre-batch value once
+    count = static_cast<uint32_t>(static_cast<int>(count) + delta);
+  };
+  for (size_t k = 0; k < dirty_ids.size(); ++k) {
+    const RecordId i = dirty_ids[k];
+    const auto& before = kept_[static_cast<size_t>(i)];
+    const auto& after = new_kept[k];
+    for (RecordId o : before) {
+      if (std::find(after.begin(), after.end(), o) == after.end()) {
+        bump(RecordPair(i, o), -1);
+      }
+    }
+    for (RecordId o : after) {
+      if (std::find(before.begin(), before.end(), o) == before.end()) {
+        bump(RecordPair(i, o), +1);
+      }
+    }
+    kept_[static_cast<size_t>(i)] = std::move(new_kept[k]);
+  }
+  return FinalizeDelta(old_ref, &refcount_);
+}
+
+std::vector<RecordPair> IncrementalTokenOverlapIndex::CurrentPairs() const {
+  std::vector<RecordPair> out;
+  out.reserve(refcount_.size());
+  for (const auto& [pair, count] : refcount_) out.push_back(pair);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ID Overlap
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cross-source pairs of the first `count` holders of one identifier bucket
+/// (sorted, deduplicated); empty when the bucket is outside [2, max_bucket].
+std::vector<RecordPair> BucketPairs(const RecordTable& records,
+                                    const std::vector<RecordId>& holders,
+                                    size_t count, size_t max_bucket) {
+  std::vector<RecordPair> out;
+  if (count < 2 || count > max_bucket) return out;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      if (holders[i] == holders[j]) continue;
+      if (records.at(holders[i]).source() == records.at(holders[j]).source()) {
+        continue;
+      }
+      out.emplace_back(holders[i], holders[j]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+CandidateDelta IncrementalIdOverlapIndex::AddRecords(const RecordTable& records,
+                                                     ThreadPool* pool) {
+  const size_t old_n = num_records_;
+  const size_t new_n = records.size();
+  if (new_n <= old_n) return {};
+
+  // Append the new holders, remembering each touched bucket's pre-batch
+  // size. Bucket vectors are stable across rehashing (node-based map), so
+  // pointers key the touched set safely.
+  std::unordered_map<const std::vector<RecordId>*, size_t> touched;
+  for (size_t r = old_n; r < new_n; ++r) {
+    const Record& rec = records.at(static_cast<RecordId>(r));
+    for (const auto& attr : IdentifierAttributes()) {
+      for (const auto& value : rec.GetMulti(attr)) {
+        std::vector<RecordId>& holders = index_[value];
+        touched.emplace(&holders, holders.size());
+        holders.push_back(static_cast<RecordId>(r));
+      }
+    }
+  }
+  num_records_ = new_n;
+
+  // Per touched bucket, diff the pre-batch contribution against the current
+  // one (each bucket ranks into its own slot; the merge below is serial).
+  struct BucketDiff {
+    const std::vector<RecordId>* holders;
+    size_t old_count;
+    std::vector<RecordPair> before, after;
+  };
+  std::vector<BucketDiff> diffs;
+  diffs.reserve(touched.size());
+  for (const auto& [holders, old_count] : touched) {
+    diffs.push_back({holders, old_count, {}, {}});
+  }
+  ParallelFor(
+      pool, 0, diffs.size(),
+      [&](size_t k) {
+        BucketDiff& d = diffs[k];
+        d.before = BucketPairs(records, *d.holders, d.old_count, max_bucket_);
+        d.after =
+            BucketPairs(records, *d.holders, d.holders->size(), max_bucket_);
+      },
+      /*grain=*/4);
+
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_ref;
+  auto bump = [&](const RecordPair& pair, int delta) {
+    uint32_t& count = refcount_[pair];
+    old_ref.emplace(pair, count);
+    count = static_cast<uint32_t>(static_cast<int>(count) + delta);
+  };
+  for (const BucketDiff& d : diffs) {
+    // Both lists are sorted unique; emit set differences.
+    for (const RecordPair& p : d.before) {
+      if (!std::binary_search(d.after.begin(), d.after.end(), p)) bump(p, -1);
+    }
+    for (const RecordPair& p : d.after) {
+      if (!std::binary_search(d.before.begin(), d.before.end(), p)) bump(p, +1);
+    }
+  }
+  return FinalizeDelta(old_ref, &refcount_);
+}
+
+std::vector<RecordPair> IncrementalIdOverlapIndex::CurrentPairs() const {
+  std::vector<RecordPair> out;
+  out.reserve(refcount_.size());
+  for (const auto& [pair, count] : refcount_) out.push_back(pair);
+  return out;
+}
+
+}  // namespace gralmatch

@@ -1,101 +1,24 @@
 #include "blocking/token_overlap.h"
 
-#include <algorithm>
 #include <memory>
-#include <unordered_map>
 
+#include "blocking/incremental_index.h"
 #include "exec/parallel.h"
-#include "text/normalize.h"
 
 namespace gralmatch {
 
 void TokenOverlapBlocker::AddCandidates(const Dataset& dataset,
                                         CandidateSet* out) const {
-  const size_t n = dataset.records.size();
-  if (n < 2) return;
-
-  std::unique_ptr<ThreadPool> pool_storage =
-      MaybeMakePool(options_.num_threads);
-  ThreadPool* pool = pool_storage.get();
-
-  // Tokenize every record once (deduplicated tokens); records are
-  // independent, so this fans out. Document frequencies are accumulated
-  // serially afterwards to keep the counts exact and deterministic.
-  std::vector<std::vector<std::string>> tokens_of(n);
-  ParallelFor(
-      pool, 0, n,
-      [&](size_t i) {
-        auto toks = TokenizeContentWords(
-            dataset.records.at(static_cast<RecordId>(i)).AllText());
-        std::sort(toks.begin(), toks.end());
-        toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
-        tokens_of[i] = std::move(toks);
-      },
-      /*grain=*/32);
-  std::unordered_map<std::string, uint32_t> df;
-  for (size_t i = 0; i < n; ++i) {
-    for (const auto& t : tokens_of[i]) ++df[t];
-  }
-
-  // Token ids for the inverted index, skipping ultra-frequent tokens.
-  const auto max_df =
-      static_cast<uint32_t>(options_.max_token_df * static_cast<double>(n)) + 1;
-  std::unordered_map<std::string, int32_t> token_ids;
-  std::vector<std::vector<RecordId>> postings;
-  for (size_t i = 0; i < n; ++i) {
-    for (const auto& t : tokens_of[i]) {
-      if (df[t] > max_df || df[t] < 2) continue;
-      auto [it, inserted] =
-          token_ids.emplace(t, static_cast<int32_t>(postings.size()));
-      if (inserted) postings.emplace_back();
-      postings[static_cast<size_t>(it->second)].push_back(
-          static_cast<RecordId>(i));
-    }
-  }
-
-  // For each record, count overlaps against other-source records and keep
-  // the top-n by overlap count (ties resolved by record id for determinism).
-  // Every record ranks independently into its own slot; the candidate set is
-  // assembled serially in record order, so the output is thread-count
-  // invariant.
-  std::vector<std::vector<RecordId>> kept(n);
-  ParallelFor(
-      pool, 0, n,
-      [&](size_t i) {
-        std::unordered_map<RecordId, uint32_t> overlap;
-        const SourceId source =
-            dataset.records.at(static_cast<RecordId>(i)).source();
-        for (const auto& t : tokens_of[i]) {
-          auto it = token_ids.find(t);
-          if (it == token_ids.end()) continue;
-          for (RecordId other : postings[static_cast<size_t>(it->second)]) {
-            if (static_cast<size_t>(other) == i) continue;
-            if (dataset.records.at(other).source() == source) continue;
-            ++overlap[other];
-          }
-        }
-        std::vector<std::pair<RecordId, uint32_t>> ranked;
-        ranked.reserve(overlap.size());
-        for (const auto& [rid, cnt] : overlap) {
-          if (cnt >= options_.min_overlap) ranked.emplace_back(rid, cnt);
-        }
-        size_t keep = std::min(options_.top_n, ranked.size());
-        auto by_count_then_id = [](const auto& a, const auto& b) {
-          if (a.second != b.second) return a.second > b.second;
-          return a.first < b.first;
-        };
-        std::partial_sort(ranked.begin(),
-                          ranked.begin() + static_cast<long>(keep),
-                          ranked.end(), by_count_then_id);
-        kept[i].reserve(keep);
-        for (size_t k = 0; k < keep; ++k) kept[i].push_back(ranked[k].first);
-      },
-      /*grain=*/16);
-  for (size_t i = 0; i < n; ++i) {
-    for (RecordId other : kept[i]) {
-      out->Add(RecordPair(static_cast<RecordId>(i), other), kind());
-    }
-  }
+  if (dataset.records.size() < 2) return;
+  // Delegate to the incremental index with a single batch holding every
+  // record: the streaming and batch paths share one implementation of the
+  // blocking semantics, so incremental ingestion (stream/) is equivalent to
+  // a from-scratch run by construction. Tokenization and per-record ranking
+  // fan out over the pool; the result is thread-count invariant.
+  std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  IncrementalTokenOverlapIndex index(options_);
+  CandidateDelta delta = index.AddRecords(dataset.records, pool.get());
+  for (const RecordPair& pair : delta.added) out->Add(pair, kind());
 }
 
 }  // namespace gralmatch

@@ -86,9 +86,17 @@ void AppendCsvField(const std::string& f, std::string* out) {
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
   std::string out;
   for (const auto& row : rows) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i) out.push_back(',');
-      AppendCsvField(row[i], &out);
+    if (row.empty() || (row.size() == 1 && row[0].empty())) {
+      // A zero-field row or a lone empty field would serialize to a blank
+      // line, which ParseCsv (correctly) skips; quote it so the row
+      // round-trips (a zero-field row comes back as one empty field — CSV
+      // has no representation that distinguishes the two).
+      out.append("\"\"");
+    } else {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) out.push_back(',');
+        AppendCsvField(row[i], &out);
+      }
     }
     out.push_back('\n');
   }

@@ -1,6 +1,7 @@
 #include "matching/baselines.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "blocking/id_overlap.h"
 #include "common/rng.h"
@@ -93,6 +94,22 @@ double TfidfLogRegMatcher::MatchProbability(const Record& a,
     z += weights_[j] * f[j];
   }
   return 1.0 / (1.0 + std::exp(-z));
+}
+
+std::string TfidfLogRegMatcher::Fingerprint() const {
+  // FNV-1a over the learned weight bytes: any retraining that changes a
+  // single weight bit changes the fingerprint.
+  uint64_t hash = 1469598103934665603ull;
+  for (float w : weights_) {
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(w), "float is 32-bit");
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return name() + "#" + std::to_string(hash);
 }
 
 }  // namespace gralmatch

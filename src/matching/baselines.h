@@ -46,6 +46,10 @@ class TfidfLogRegMatcher : public PairwiseMatcher {
   std::string name() const override { return "TFIDF-LogReg"; }
   double MatchProbability(const Record& a, const Record& b) const override;
 
+  /// Name plus a digest of the learned weights, so a retrained matcher
+  /// never aliases a stale pair-score cache entry.
+  std::string Fingerprint() const override;
+
   /// The learned feature weights (bias last), for tests/inspection.
   const std::vector<float>& weights() const { return weights_; }
 
@@ -73,6 +77,13 @@ class SlowLlmMatcher : public PairwiseMatcher {
   std::string name() const override { return "LLM (7s/pair)"; }
   double MatchProbability(const Record& a, const Record& b) const override {
     return inner_->MatchProbability(a, b);
+  }
+
+  /// Scores come from the inner matcher, so the fingerprint must too: two
+  /// wrappers around different inner matchers may not alias in a pair-score
+  /// cache.
+  std::string Fingerprint() const override {
+    return name() + "|" + inner_->Fingerprint();
   }
 
   /// Wall-clock this matcher would need for `num_pairs` evaluations.

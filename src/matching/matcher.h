@@ -23,6 +23,14 @@ class PairwiseMatcher {
   /// Probability in [0, 1] that the two records refer to the same entity.
   virtual double MatchProbability(const Record& a, const Record& b) const = 0;
 
+  /// Stable identifier of this matcher's scoring function: two matchers
+  /// with equal fingerprints must produce identical MatchProbability
+  /// outputs on every record pair. Pair-score caches (stream/) key on it,
+  /// so matchers with trained or configurable state must fold a parameter
+  /// digest into the string; the default is the display name, which is only
+  /// correct for stateless matchers.
+  virtual std::string Fingerprint() const { return name(); }
+
   /// Binary decision at the 0.5 threshold.
   bool IsMatch(const Record& a, const Record& b) const {
     return MatchProbability(a, b) >= 0.5;

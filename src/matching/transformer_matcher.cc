@@ -1,8 +1,18 @@
 #include "matching/transformer_matcher.h"
 
+#include <atomic>
 #include <filesystem>
 
 namespace gralmatch {
+
+namespace {
+/// Process-unique revision source for Fingerprint(): every trained-state
+/// mutation of any TransformerMatcher draws a fresh value.
+uint64_t NextRevision() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1) + 1;
+}
+}  // namespace
 
 TransformerMatcher::TransformerMatcher(TransformerMatcherConfig config)
     : config_(std::move(config)) {
@@ -32,6 +42,7 @@ void TransformerMatcher::BuildVocab(const RecordTable& records) {
   model_config.num_classes = 2;
   model_config.seed = config_.seed;
   model_ = std::make_unique<TransformerClassifier>(model_config);
+  revision_ = NextRevision();
 }
 
 std::vector<TrainExample> TransformerMatcher::MakeExamples(
@@ -58,7 +69,13 @@ TrainResult TransformerMatcher::FineTune(const RecordTable& records,
   auto train_examples = MakeExamples(records, train);
   auto val_examples = MakeExamples(records, val);
   Trainer trainer(config_.trainer);
-  return trainer.Fit(model_.get(), train_examples, val_examples);
+  TrainResult result = trainer.Fit(model_.get(), train_examples, val_examples);
+  revision_ = NextRevision();
+  return result;
+}
+
+std::string TransformerMatcher::Fingerprint() const {
+  return name() + "@rev" + std::to_string(revision_);
 }
 
 double TransformerMatcher::MatchProbability(const Record& a,
@@ -94,6 +111,7 @@ Status TransformerMatcher::Load(const std::string& dir) {
   model_config.seed = config_.seed;
   model_ = std::make_unique<TransformerClassifier>(model_config);
   GRALMATCH_RETURN_NOT_OK(model_->Load(dir + "/model.bin"));
+  revision_ = NextRevision();
   return Status::OK();
 }
 

@@ -57,6 +57,12 @@ class TransformerMatcher : public PairwiseMatcher {
   std::string name() const override { return config_.display_name; }
   double MatchProbability(const Record& a, const Record& b) const override;
 
+  /// Name plus a process-unique revision that changes on every mutation of
+  /// the trained state (BuildVocab, FineTune, Load), so a retrained or
+  /// reloaded matcher never aliases a stale pair-score cache entry. Not
+  /// stable across processes — it keys in-memory caches only.
+  std::string Fingerprint() const override;
+
   /// Persist vocabulary + weights into a directory (created if needed).
   Status Save(const std::string& dir) const;
 
@@ -73,6 +79,8 @@ class TransformerMatcher : public PairwiseMatcher {
   SubwordVocab vocab_;
   std::unique_ptr<PairSerializer> serializer_;
   std::unique_ptr<TransformerClassifier> model_;
+  /// Bumped to a fresh process-unique value by every state mutation.
+  uint64_t revision_ = 0;
 };
 
 }  // namespace gralmatch

@@ -1,0 +1,310 @@
+#include "stream/incremental_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/union_find.h"
+#include "core/cleanup.h"
+#include "exec/parallel.h"
+#include "graph/graph.h"
+
+namespace gralmatch {
+
+IncrementalPipeline::IncrementalPipeline(IncrementalPipelineConfig config)
+    : config_(config),
+      pool_(MaybeMakePool(config.pipeline.num_threads)),
+      token_index_(config.token) {}
+
+IncrementalPipeline::~IncrementalPipeline() = default;
+
+void IncrementalPipeline::RebuildComponent(ComponentState* comp) {
+  // Nodes are sorted, pairs are sorted: inserting edges in pair order
+  // reproduces the edge-id order of a from-scratch run, and the monotone
+  // node remap preserves every comparison the cleanup tie-breaks on.
+  Graph local(comp->nodes.size());
+  auto local_id = [comp](NodeId u) {
+    return static_cast<NodeId>(
+        std::lower_bound(comp->nodes.begin(), comp->nodes.end(), u) -
+        comp->nodes.begin());
+  };
+  std::vector<uint32_t> edge_provenance;
+  edge_provenance.reserve(comp->pairs.size());
+  for (const RecordPair& pair : comp->pairs) {
+    (void)local.AddEdge(local_id(pair.a), local_id(pair.b));
+    edge_provenance.push_back(candidate_prov_.at(pair));
+  }
+
+  comp->stats = CleanupStats();
+  PreCleanup(&local, edge_provenance, config_.pipeline.pre_cleanup_threshold,
+             &comp->stats);
+  GraLMatchCleanup cleanup(config_.pipeline.cleanup);
+  std::vector<std::vector<NodeId>> local_groups =
+      cleanup.Run(&local, &comp->stats, pool_.get());
+  comp->stats.seconds = 0.0;  // counters only; Ingest accounts wall-clock
+
+  comp->groups.clear();
+  comp->groups.reserve(local_groups.size());
+  for (auto& group : local_groups) {
+    for (NodeId& u : group) u = comp->nodes[static_cast<size_t>(u)];
+    comp->groups.push_back(std::move(group));
+  }
+}
+
+IngestReport IncrementalPipeline::Ingest(const std::vector<Record>& batch,
+                                         const PairwiseMatcher& matcher) {
+  IngestReport report;
+  report.records_added = batch.size();
+  for (const Record& rec : batch) records_.Add(rec);
+  comp_of_node_.resize(records_.size(), -1);
+
+  // A fingerprint change means every cached score is stale: clear the cache
+  // and re-derive the positive set and every component from fresh scores.
+  const std::string fingerprint = matcher.Fingerprint();
+  const bool rescore_all = !fingerprint_.empty() && fingerprint != fingerprint_;
+  if (rescore_all) score_cache_.clear();
+  fingerprint_ = fingerprint;
+
+  // Blocking: fold each index's delta into the candidate set, snapshotting
+  // each touched pair's pre-ingest provenance once.
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_prov;
+  auto apply_delta = [&](const CandidateDelta& delta, uint32_t bit) {
+    for (const RecordPair& pair : delta.added) {
+      uint32_t& prov = candidate_prov_[pair];
+      old_prov.emplace(pair, prov);
+      prov |= bit;
+    }
+    for (const RecordPair& pair : delta.removed) {
+      auto it = candidate_prov_.find(pair);
+      old_prov.emplace(pair, it->second);
+      it->second &= ~bit;
+    }
+  };
+  if (config_.use_id_blocker) {
+    apply_delta(id_index_.AddRecords(records_, pool_.get()), kBlockerIdOverlap);
+  }
+  if (config_.use_token_blocker) {
+    apply_delta(token_index_.AddRecords(records_, pool_.get()),
+                kBlockerTokenOverlap);
+  }
+
+  std::vector<RecordPair> cand_added, cand_removed, prov_changed;
+  for (const auto& [pair, before] : old_prov) {
+    const uint32_t now = candidate_prov_.at(pair);
+    if (before == 0 && now != 0) {
+      cand_added.push_back(pair);
+    } else if (before != 0 && now == 0) {
+      cand_removed.push_back(pair);
+      candidate_prov_.erase(pair);
+    } else if (before != now) {
+      prov_changed.push_back(pair);
+    }
+  }
+  std::sort(cand_added.begin(), cand_added.end());
+  std::sort(cand_removed.begin(), cand_removed.end());
+  std::sort(prov_changed.begin(), prov_changed.end());
+  report.candidates_added = cand_added.size();
+  report.candidates_removed = cand_removed.size();
+
+  // Scoring: only pairs without a cached score under the current
+  // fingerprint reach the matcher. Re-admitted pairs are cache hits.
+  std::vector<RecordPair> to_score;
+  if (rescore_all) {
+    to_score.reserve(candidate_prov_.size());
+    for (const auto& [pair, prov] : candidate_prov_) to_score.push_back(pair);
+  } else {
+    for (const RecordPair& pair : cand_added) {
+      if (score_cache_.count(pair)) {
+        ++report.cache_hits;
+      } else {
+        to_score.push_back(pair);
+      }
+    }
+  }
+  std::sort(to_score.begin(), to_score.end());
+  Stopwatch scoring_watch;
+  std::vector<double> scores = ParallelMap<double>(
+      pool_.get(), to_score.size(),
+      [&](size_t k) {
+        const RecordPair& pair = to_score[k];
+        return matcher.MatchProbability(records_.at(pair.a),
+                                        records_.at(pair.b));
+      },
+      /*grain=*/8);
+  report.scoring_seconds = scoring_watch.ElapsedSeconds();
+  scoring_seconds_total_ += report.scoring_seconds;
+  for (size_t k = 0; k < to_score.size(); ++k) {
+    score_cache_[to_score[k]] = scores[k];
+  }
+  report.pairs_scored = to_score.size();
+  total_matcher_calls_ += to_score.size();
+  total_cache_hits_ += report.cache_hits;
+
+  // Positive-edge transitions.
+  const double threshold = config_.pipeline.match_threshold;
+  std::vector<RecordPair> pos_added, pos_removed, pos_prov_changed;
+  if (rescore_all) {
+    std::unordered_set<RecordPair, RecordPairHash> now_positive;
+    for (const auto& [pair, prov] : candidate_prov_) {
+      if (score_cache_.at(pair) >= threshold) now_positive.insert(pair);
+    }
+    for (const RecordPair& pair : now_positive) {
+      if (!positives_.count(pair)) pos_added.push_back(pair);
+    }
+    for (const RecordPair& pair : positives_) {
+      if (!now_positive.count(pair)) pos_removed.push_back(pair);
+    }
+    positives_ = std::move(now_positive);
+  } else {
+    for (const RecordPair& pair : cand_added) {
+      if (score_cache_.at(pair) >= threshold) {
+        positives_.insert(pair);
+        pos_added.push_back(pair);
+      }
+    }
+    for (const RecordPair& pair : cand_removed) {
+      if (positives_.erase(pair) > 0) pos_removed.push_back(pair);
+    }
+    for (const RecordPair& pair : prov_changed) {
+      if (positives_.count(pair)) pos_prov_changed.push_back(pair);
+    }
+  }
+
+  // Dirty components: every component touching an affected node, i.e. an
+  // endpoint of an edge that appeared, disappeared, or changed provenance
+  // (provenance feeds the Pre Cleanup). With a fingerprint change every
+  // component is conservatively dirty.
+  Stopwatch cleanup_watch;
+  std::unordered_set<int32_t> dirty_comps;
+  std::vector<NodeId> loose_nodes;  // affected nodes outside any component
+  auto touch_node = [&](NodeId u) {
+    const int32_t cid = comp_of_node_[static_cast<size_t>(u)];
+    if (cid >= 0) {
+      dirty_comps.insert(cid);
+    } else {
+      loose_nodes.push_back(u);
+    }
+  };
+  for (const RecordPair& pair : pos_added) {
+    touch_node(pair.a);
+    touch_node(pair.b);
+  }
+  for (const RecordPair& pair : pos_removed) {
+    touch_node(pair.a);
+    touch_node(pair.b);
+  }
+  for (const RecordPair& pair : pos_prov_changed) {
+    touch_node(pair.a);
+    touch_node(pair.b);
+  }
+  if (rescore_all) {
+    for (const auto& [cid, comp] : comps_) dirty_comps.insert(cid);
+  }
+  report.components_reused = comps_.size() - dirty_comps.size();
+
+  if (!dirty_comps.empty() || !loose_nodes.empty()) {
+    // Union the dirty region's nodes and surviving pairs, recompute its
+    // connectivity, and re-clean each resulting component. Every removed
+    // pair's endpoints are affected, so removals never touch a clean
+    // component; every added pair's endpoints are in the region by
+    // construction.
+    std::vector<NodeId> region_nodes = loose_nodes;
+    std::vector<RecordPair> region_pairs = pos_added;
+    const std::unordered_set<RecordPair, RecordPairHash> removed_set(
+        pos_removed.begin(), pos_removed.end());
+    for (const int32_t cid : dirty_comps) {
+      const ComponentState& comp = comps_.at(cid);
+      region_nodes.insert(region_nodes.end(), comp.nodes.begin(),
+                          comp.nodes.end());
+      for (const RecordPair& pair : comp.pairs) {
+        if (!removed_set.count(pair)) region_pairs.push_back(pair);
+      }
+    }
+    std::sort(region_nodes.begin(), region_nodes.end());
+    region_nodes.erase(std::unique(region_nodes.begin(), region_nodes.end()),
+                       region_nodes.end());
+    auto region_index = [&region_nodes](NodeId u) {
+      return static_cast<size_t>(
+          std::lower_bound(region_nodes.begin(), region_nodes.end(), u) -
+          region_nodes.begin());
+    };
+    UnionFind uf(region_nodes.size());
+    for (const RecordPair& pair : region_pairs) {
+      uf.Union(region_index(pair.a), region_index(pair.b));
+    }
+
+    for (const int32_t cid : dirty_comps) comps_.erase(cid);
+    std::unordered_map<size_t, int32_t> comp_of_root;
+    std::vector<int32_t> rebuilt_ids;
+    for (size_t k = 0; k < region_nodes.size(); ++k) {
+      const NodeId u = region_nodes[k];
+      if (uf.SetSize(k) < 2) {
+        comp_of_node_[static_cast<size_t>(u)] = -1;
+        continue;
+      }
+      const size_t root = uf.Find(k);
+      auto [it, inserted] = comp_of_root.emplace(root, next_comp_id_);
+      if (inserted) {
+        ++next_comp_id_;
+        rebuilt_ids.push_back(it->second);
+      }
+      comp_of_node_[static_cast<size_t>(u)] = it->second;
+      comps_[it->second].nodes.push_back(u);  // ascending: k is ascending
+    }
+    for (const RecordPair& pair : region_pairs) {
+      comps_[comp_of_node_[static_cast<size_t>(pair.a)]].pairs.push_back(pair);
+    }
+    for (const int32_t cid : rebuilt_ids) {
+      ComponentState& comp = comps_[cid];
+      std::sort(comp.pairs.begin(), comp.pairs.end());
+      RebuildComponent(&comp);
+    }
+    report.components_rebuilt = rebuilt_ids.size();
+  }
+  report.cleanup_seconds = cleanup_watch.ElapsedSeconds();
+  cleanup_seconds_total_ += report.cleanup_seconds;
+  return report;
+}
+
+PipelineResult IncrementalPipeline::Snapshot() const {
+  PipelineResult result;
+  result.predicted_pairs.assign(positives_.begin(), positives_.end());
+  std::sort(result.predicted_pairs.begin(), result.predicted_pairs.end());
+
+  // Components (and groups) in the batch pipeline's canonical order:
+  // components by smallest contained node — exactly the order a node scan
+  // produces — and groups sorted by their smallest node afterwards.
+  const size_t n = records_.size();
+  for (size_t u = 0; u < n; ++u) {
+    const int32_t cid = comp_of_node_[u];
+    if (cid < 0) {
+      result.pre_cleanup_components.push_back({static_cast<NodeId>(u)});
+      result.groups.push_back({static_cast<NodeId>(u)});
+      continue;
+    }
+    const ComponentState& comp = comps_.at(cid);
+    if (comp.nodes.front() != static_cast<NodeId>(u)) continue;
+    result.pre_cleanup_components.push_back(comp.nodes);
+    for (const auto& group : comp.groups) result.groups.push_back(group);
+  }
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+              return a.front() < b.front();
+            });
+
+  for (const auto& [cid, comp] : comps_) {
+    result.cleanup_stats.pre_cleanup_edges_removed +=
+        comp.stats.pre_cleanup_edges_removed;
+    result.cleanup_stats.min_cut_calls += comp.stats.min_cut_calls;
+    result.cleanup_stats.min_cut_edges_removed +=
+        comp.stats.min_cut_edges_removed;
+    result.cleanup_stats.betweenness_calls += comp.stats.betweenness_calls;
+    result.cleanup_stats.betweenness_edges_removed +=
+        comp.stats.betweenness_edges_removed;
+  }
+  result.cleanup_stats.seconds = cleanup_seconds_total_;
+  result.inference_seconds = scoring_seconds_total_;
+  return result;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,163 @@
+#ifndef GRALMATCH_STREAM_INCREMENTAL_PIPELINE_H_
+#define GRALMATCH_STREAM_INCREMENTAL_PIPELINE_H_
+
+/// \file incremental_pipeline.h
+/// Streaming ingestion for the entity-group pipeline. Record batches arrive
+/// via Ingest() and three layers of state update in place instead of being
+/// recomputed from scratch:
+///
+///  1. Blocking: incremental Token/ID Overlap inverted indexes
+///     (blocking/incremental_index.h) emit only the candidate pairs the
+///     batch adds or retracts.
+///  2. Scoring: a pair-score cache keyed by (record_a, record_b,
+///     matcher fingerprint) guarantees a pair is sent to the matcher at
+///     most once while the fingerprint stays the same — re-admitted
+///     candidates are served from the cache. The cache holds the current
+///     fingerprint only: a fingerprint change clears it, so alternating
+///     between matchers rescores on every swap.
+///  3. Cleanup: new positive edges are unioned into the maintained
+///     component structure and the Pre + GraLMatch Graph Cleanup reruns
+///     only on *dirty* components (those that gained or lost a node, an
+///     edge, or a provenance bit); untouched groups are spliced through
+///     unchanged with their cached cleanup counters.
+///
+/// Batch-equivalence contract (enforced by tests/stream_test.cc): after any
+/// sequence of ingests, Snapshot() — groups, predicted pairs, pre-cleanup
+/// components and all cleanup counters — is identical to
+/// EntityGroupPipeline::Run on the union of all batches with the same
+/// blockers and matcher, at any num_threads. Only the wall-clock fields
+/// differ in meaning: Snapshot() reports times accumulated across ingests.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blocking/incremental_index.h"
+#include "core/pipeline.h"
+#include "data/record.h"
+#include "matching/matcher.h"
+
+namespace gralmatch {
+
+class ThreadPool;
+
+/// Parameters of the incremental pipeline: the batch pipeline's config plus
+/// the blocking setup it maintains incrementally.
+struct IncrementalPipelineConfig {
+  /// Threshold, cleanup, pre-cleanup and num_threads semantics are exactly
+  /// those of the batch EntityGroupPipeline.
+  PipelineConfig pipeline;
+  /// Token Overlap blocking parameters (num_threads is taken from
+  /// `pipeline.num_threads`, not from here).
+  TokenOverlapBlocker::Options token;
+  bool use_token_blocker = true;
+  bool use_id_blocker = true;
+};
+
+/// What one Ingest call did — cache effectiveness and dirty-component
+/// scoping, for observability and tests.
+struct IngestReport {
+  size_t records_added = 0;
+  /// Candidate pairs that entered / left the maintained candidate set.
+  size_t candidates_added = 0;
+  size_t candidates_removed = 0;
+  /// Matcher invocations this ingest (pairs scored for the first time under
+  /// the current fingerprint).
+  size_t pairs_scored = 0;
+  /// Candidate pairs whose score was served from the cache (pairs that
+  /// re-entered the candidate set after a retraction).
+  size_t cache_hits = 0;
+  /// Components re-cleaned vs. spliced through unchanged.
+  size_t components_rebuilt = 0;
+  size_t components_reused = 0;
+  double scoring_seconds = 0.0;
+  double cleanup_seconds = 0.0;
+};
+
+/// \brief Incrementally maintained entity-group matching pipeline.
+class IncrementalPipeline {
+ public:
+  explicit IncrementalPipeline(IncrementalPipelineConfig config);
+  ~IncrementalPipeline();
+
+  IncrementalPipeline(const IncrementalPipeline&) = delete;
+  IncrementalPipeline& operator=(const IncrementalPipeline&) = delete;
+
+  /// Append `batch` to the record set and bring blocking, scores and groups
+  /// up to date. The matcher must be const-thread-safe (as in the batch
+  /// pipeline). A matcher whose Fingerprint() differs from the previous
+  /// ingest invalidates the score cache: every current candidate pair is
+  /// rescored and every component re-cleaned. An empty batch is permitted
+  /// (useful to swap matchers without new data).
+  ///
+  /// Not exception-safe: a matcher that throws out of MatchProbability
+  /// aborts the ingest with records and blocking indexes already updated
+  /// but scores/groups not, leaving the pipeline in an unspecified state.
+  /// Discard the pipeline in that case — re-Ingesting the same batch would
+  /// append its records a second time.
+  IngestReport Ingest(const std::vector<Record>& batch,
+                      const PairwiseMatcher& matcher);
+
+  /// Current result, identical to a from-scratch EntityGroupPipeline::Run
+  /// on the union of all ingested batches (see file comment). Wall-clock
+  /// fields report times accumulated across all ingests.
+  PipelineResult Snapshot() const;
+
+  /// All ingested records, in ingest order (ids are assigned contiguously).
+  const RecordTable& records() const { return records_; }
+
+  const IncrementalPipelineConfig& config() const { return config_; }
+
+  /// Cumulative matcher invocations / cache hits across all ingests.
+  size_t total_matcher_calls() const { return total_matcher_calls_; }
+  size_t total_cache_hits() const { return total_cache_hits_; }
+
+ private:
+  /// One connected component of the pristine (pre-cleanup) positive-edge
+  /// graph, with its cached cleanup outcome.
+  struct ComponentState {
+    std::vector<NodeId> nodes;       ///< sorted ascending
+    std::vector<RecordPair> pairs;   ///< positive pairs inside, sorted
+    std::vector<std::vector<NodeId>> groups;  ///< cleaned groups, global ids
+    CleanupStats stats;              ///< counters only (seconds stays 0)
+  };
+
+  /// Re-run Pre Graph Cleanup + Algorithm 1 on one pristine component. The
+  /// component subgraph is rebuilt with nodes compact-remapped in sorted
+  /// order and edges inserted in sorted pair order — exactly the edge-id
+  /// order a from-scratch run on the union would assign — so every
+  /// tie-break matches the batch pipeline bit for bit.
+  void RebuildComponent(ComponentState* comp);
+
+  IncrementalPipelineConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  RecordTable records_;
+
+  IncrementalIdOverlapIndex id_index_;
+  IncrementalTokenOverlapIndex token_index_;
+
+  /// Current candidate pairs -> blocker provenance bits.
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> candidate_prov_;
+  /// Pair-score cache for the current matcher fingerprint.
+  std::string fingerprint_;
+  std::unordered_map<RecordPair, double, RecordPairHash> score_cache_;
+  /// Candidate pairs currently at or above the match threshold.
+  std::unordered_set<RecordPair, RecordPairHash> positives_;
+
+  /// Component id per record (-1: singleton, not in any positive pair).
+  std::vector<int32_t> comp_of_node_;
+  std::unordered_map<int32_t, ComponentState> comps_;
+  int32_t next_comp_id_ = 0;
+
+  size_t total_matcher_calls_ = 0;
+  size_t total_cache_hits_ = 0;
+  double scoring_seconds_total_ = 0.0;
+  double cleanup_seconds_total_ = 0.0;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_STREAM_INCREMENTAL_PIPELINE_H_

@@ -3,10 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "blocking/blocker.h"
 #include "blocking/id_overlap.h"
+#include "blocking/incremental_index.h"
 #include "blocking/issuer_match.h"
 #include "blocking/token_overlap.h"
+#include "common/rng.h"
 
 namespace gralmatch {
 namespace {
@@ -257,6 +263,197 @@ TEST(IssuerMatchTest, UngroupedAndMissingIssuersSkipped) {
   CandidateSet out;
   blocker.AddCandidates(securities, &out);
   EXPECT_EQ(out.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental indexes: after any split schedule, the maintained pair set
+// must equal the batch blocker run on the union.
+// ---------------------------------------------------------------------------
+
+std::vector<RecordPair> SortedPairs(std::vector<RecordPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<RecordPair> BatchTokenPairs(const RecordTable& records,
+                                        TokenOverlapBlocker::Options options) {
+  Dataset ds;
+  ds.records = records;
+  CandidateSet out;
+  TokenOverlapBlocker(options).AddCandidates(ds, &out);
+  std::vector<RecordPair> pairs;
+  for (const auto& cand : out.ToVector()) pairs.push_back(cand.pair);
+  return pairs;
+}
+
+std::vector<RecordPair> BatchIdPairs(const RecordTable& records) {
+  Dataset ds;
+  ds.records = records;
+  CandidateSet out;
+  IdOverlapBlocker().AddCandidates(ds, &out);
+  std::vector<RecordPair> pairs;
+  for (const auto& cand : out.ToVector()) pairs.push_back(cand.pair);
+  return pairs;
+}
+
+/// Prefix of a record table as its own table.
+RecordTable Prefix(const RecordTable& records, size_t n) {
+  RecordTable out;
+  for (size_t i = 0; i < n; ++i) out.Add(records.at(static_cast<RecordId>(i)));
+  return out;
+}
+
+TEST(IncrementalIdOverlapIndexTest, BucketOverflowRetractsItsPairs) {
+  // 50 records sharing one identifier: within the cap, pairs exist. Growing
+  // the bucket to 70 (> kMaxBucket = 64) must retract every pair, exactly
+  // like a from-scratch run on all 70 records would produce none.
+  RecordTable records;
+  for (int i = 0; i < 70; ++i) {
+    Record rec(static_cast<SourceId>(i % 3), RecordKind::kSecurity);
+    rec.Set("isin", "SHARED000001");
+    records.Add(std::move(rec));
+  }
+
+  IncrementalIdOverlapIndex index;
+  CandidateDelta first = index.AddRecords(Prefix(records, 50));
+  EXPECT_GT(first.added.size(), 0u);
+  EXPECT_EQ(first.removed.size(), 0u);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchIdPairs(Prefix(records, 50)));
+
+  CandidateDelta second = index.AddRecords(records);
+  EXPECT_EQ(second.added.size(), 0u);
+  EXPECT_EQ(second.removed.size(), first.added.size());
+  EXPECT_TRUE(index.CurrentPairs().empty());
+  EXPECT_TRUE(BatchIdPairs(records).empty());
+}
+
+TEST(IncrementalIdOverlapIndexTest, RandomSplitsMatchBatch) {
+  Rng rng(11);
+  RecordTable records;
+  for (int i = 0; i < 120; ++i) {
+    Record rec(static_cast<SourceId>(i % 4), RecordKind::kSecurity);
+    rec.Set("isin", "ISIN" + std::to_string(rng.Uniform(25)));
+    if (rng.Bernoulli(0.5)) {
+      rec.Set("cusip", "CUSIP" + std::to_string(rng.Uniform(10)));
+    }
+    records.Add(std::move(rec));
+  }
+  for (int round = 0; round < 4; ++round) {
+    IncrementalIdOverlapIndex index;
+    size_t ingested = 0;
+    while (ingested < records.size()) {
+      ingested += 1 + rng.Uniform(records.size() - ingested < 30
+                                      ? records.size() - ingested
+                                      : 30);
+      index.AddRecords(Prefix(records, ingested));
+      EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+                BatchIdPairs(Prefix(records, ingested)))
+          << "round " << round << " after " << ingested << " records";
+    }
+  }
+}
+
+TEST(IncrementalTokenOverlapIndexTest, MaxDfCapReadmitsTokensAsNGrows) {
+  // "zephyr" appears in 3 records. At n = 10 the df cap is
+  // floor(0.05 * 10) + 1 = 1, so the token is ineligible and produces no
+  // pairs; at n = 60 the cap is 4 and the token becomes eligible again —
+  // the index must emit the pairs the from-scratch run now finds.
+  TokenOverlapBlocker::Options options;
+  options.min_overlap = 1;
+  RecordTable records;
+  for (int i = 0; i < 60; ++i) {
+    Record rec(static_cast<SourceId>(i % 3), RecordKind::kCompany);
+    std::string name = "filler" + std::to_string(i) + " unique" +
+                       std::to_string(i * 7);
+    if (i < 3) name = "zephyr dynamics " + std::to_string(i);
+    rec.Set("name", name);
+    records.Add(std::move(rec));
+  }
+
+  IncrementalTokenOverlapIndex index(options);
+  index.AddRecords(Prefix(records, 10));
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchTokenPairs(Prefix(records, 10), options));
+  EXPECT_TRUE(index.CurrentPairs().empty());
+
+  CandidateDelta delta = index.AddRecords(records);
+  EXPECT_GT(delta.added.size(), 0u);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchTokenPairs(records, options));
+  EXPECT_FALSE(index.CurrentPairs().empty());
+}
+
+TEST(IncrementalTokenOverlapIndexTest, TopNDisplacementRetractsPair) {
+  // top_n = 1: A's only slot initially holds B; the later-arriving C
+  // overlaps A more and displaces B, so pair (A,B) must be retracted
+  // (B's own slot prefers D throughout).
+  TokenOverlapBlocker::Options options;
+  options.top_n = 1;
+  options.min_overlap = 1;
+  options.max_token_df = 1.0;  // keep every token eligible
+
+  RecordTable records;
+  auto add = [&](SourceId source, const std::string& name) {
+    Record rec(source, RecordKind::kCompany);
+    rec.Set("name", name);
+    return records.Add(std::move(rec));
+  };
+  RecordId a = add(0, "papaya quartz");
+  RecordId b = add(1, "papaya rhubarb saffron");
+  add(2, "rhubarb saffron");              // D: B's best partner
+  RecordId c = add(2, "papaya quartz");   // arrives last, displaces B from A
+
+  IncrementalTokenOverlapIndex index(options);
+  index.AddRecords(Prefix(records, 3));
+  std::vector<RecordPair> before = SortedPairs(index.CurrentPairs());
+  EXPECT_EQ(before, BatchTokenPairs(Prefix(records, 3), options));
+  EXPECT_TRUE(std::binary_search(before.begin(), before.end(),
+                                 RecordPair(a, b)));
+
+  CandidateDelta delta = index.AddRecords(records);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchTokenPairs(records, options));
+  ASSERT_EQ(delta.removed.size(), 1u);
+  EXPECT_EQ(delta.removed[0], RecordPair(a, b));
+  EXPECT_TRUE(std::find(delta.added.begin(), delta.added.end(),
+                        RecordPair(a, c)) != delta.added.end());
+}
+
+TEST(IncrementalTokenOverlapIndexTest, RandomSplitsMatchBatch) {
+  Rng rng(13);
+  TokenOverlapBlocker::Options options;
+  options.top_n = 3;
+  options.min_overlap = 2;
+  options.max_token_df = 0.2;
+  const std::vector<std::string> vocab = {
+      "alpha", "bravo", "carbon", "delta",  "ember",  "falcon",
+      "grove", "helix", "indigo", "jasper", "krypton"};
+  RecordTable records;
+  for (int i = 0; i < 100; ++i) {
+    Record rec(static_cast<SourceId>(i % 4), RecordKind::kCompany);
+    std::string name;
+    const size_t words = 2 + rng.Uniform(4);
+    for (size_t w = 0; w < words; ++w) {
+      if (w) name += " ";
+      name += vocab[rng.Uniform(vocab.size())];
+    }
+    rec.Set("name", name);
+    records.Add(std::move(rec));
+  }
+  for (int round = 0; round < 3; ++round) {
+    IncrementalTokenOverlapIndex index(options);
+    size_t ingested = 0;
+    while (ingested < records.size()) {
+      ingested += 1 + rng.Uniform(records.size() - ingested < 20
+                                      ? records.size() - ingested
+                                      : 20);
+      index.AddRecords(Prefix(records, ingested));
+      EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+                BatchTokenPairs(Prefix(records, ingested), options))
+          << "round " << round << " after " << ingested << " records";
+    }
+  }
 }
 
 }  // namespace

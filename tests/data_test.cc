@@ -209,5 +209,103 @@ TEST(CsvTest, ReadMissingFileFails) {
                    .ok());
 }
 
+// ---------------------------------------------------------------------------
+// CSV edge cases and round-trip properties (streaming ingestion feeds this
+// parser, so quoting/CRLF/empty-field handling must be watertight).
+// ---------------------------------------------------------------------------
+
+TEST(CsvEdgeCaseTest, CrlfLineEndings) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvEdgeCaseTest, CrlfInsideQuotedFieldIsPreserved) {
+  auto rows = ParseCsv("x,\"line1\r\nline2\"\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"x", "line1\r\nline2"}));
+}
+
+TEST(CsvEdgeCaseTest, QuotedFieldWithEmbeddedSeparatorsAndQuotes) {
+  auto rows = ParseCsv("\"a,b\n\"\"c\"\"\",plain\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b\n\"c\"", "plain"}));
+}
+
+TEST(CsvEdgeCaseTest, TrailingEmptyFields) {
+  auto rows = ParseCsv("a,,\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvEdgeCaseTest, MissingTrailingNewlineStillEmitsLastRow) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvEdgeCaseTest, BlankLinesAreSkipped) {
+  auto rows = ParseCsv("a\n\n\nb\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"b"}));
+}
+
+TEST(CsvEdgeCaseTest, SingleEmptyFieldRowRoundTrips) {
+  // A lone empty field must not serialize to a blank line (blank lines are
+  // skipped on parse); WriteCsv quotes it.
+  const std::vector<std::vector<std::string>> rows = {{""}, {"x"}, {""}};
+  const std::string csv = WriteCsv(rows);
+  EXPECT_EQ(csv, "\"\"\nx\n\"\"\n");
+  auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvEdgeCaseTest, ZeroFieldRowIsNotSilentlyDropped) {
+  // CSV cannot distinguish a zero-field row from a single empty field;
+  // WriteCsv normalizes the former to the latter instead of emitting a
+  // blank line that ParseCsv would skip (which silently lost the row).
+  const std::string csv = WriteCsv({{}, {"x"}});
+  EXPECT_EQ(csv, "\"\"\nx\n");
+  auto parsed = ParseCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], (std::vector<std::string>{""}));
+  EXPECT_EQ((*parsed)[1], (std::vector<std::string>{"x"}));
+}
+
+TEST(CsvPropertyTest, RandomRowsRoundTripExactly) {
+  // Fields drawn from a charset dense in CSV metacharacters: separators,
+  // quotes, both newline conventions, spaces.
+  const std::string charset = "ab,\"\n\r ;|";
+  Rng rng(20260726);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::vector<std::string>> rows;
+    const size_t num_rows = 1 + rng.Uniform(6);
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row(1 + rng.Uniform(5));
+      for (auto& field : row) {
+        const size_t len = rng.Uniform(8);
+        for (size_t k = 0; k < len; ++k) {
+          field.push_back(charset[rng.Uniform(charset.size())]);
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    auto parsed = ParseCsv(WriteCsv(rows));
+    ASSERT_TRUE(parsed.ok()) << "round " << round;
+    EXPECT_EQ(*parsed, rows) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace gralmatch

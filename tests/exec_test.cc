@@ -181,6 +181,43 @@ TEST(ParallelForTest, NonZeroBeginRanges) {
   }
 }
 
+TEST(ParallelForTest, RangeSmallerThanThreadCount) {
+  // Fewer iterations than workers: every index still runs exactly once
+  // (each iteration writes only its own slot).
+  ThreadPool pool(8);
+  for (size_t n : {1u, 2u, 3u, 7u}) {
+    std::vector<int> hits(n, 0);
+    ParallelFor(&pool, 0, n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "n=" << n;
+  }
+}
+
+TEST(ParallelForTest, ZeroWorkerPoolRequestTreatedAsOne) {
+  // ThreadPool clamps 0 to one worker and MaybeMakePool(0) yields the
+  // serial nullptr path; both must behave exactly like num_threads = 1.
+  EXPECT_EQ(MaybeMakePool(0), nullptr);
+  EXPECT_EQ(MaybeMakePool(1), nullptr);
+  ThreadPool zero_pool(0);
+  EXPECT_EQ(zero_pool.num_threads(), 1u);
+  std::vector<size_t> order;
+  ParallelFor(&zero_pool, 0, 6, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelMapTest, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  auto out =
+      ParallelMap<size_t>(&pool, 3, [](size_t i) { return i * 10; });
+  EXPECT_EQ(out, (std::vector<size_t>{0, 10, 20}));
+}
+
+TEST(ParallelMapTest, ZeroWorkerPoolRequest) {
+  ThreadPool pool(0);
+  auto out = ParallelMap<int>(&pool, 4,
+                              [](size_t i) { return static_cast<int>(i) - 2; });
+  EXPECT_EQ(out, (std::vector<int>{-2, -1, 0, 1}));
+}
+
 // ---------------------------------------------------------------------------
 // Exception propagation.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,127 @@
+// Golden regression tests pinning the exact Table-4-style quality metrics of
+// the full pipeline on both fixtures. The structural suites assert
+// inequalities (post >= pre precision, bounds); these pin the *numbers*, so
+// a change that silently shifts quality — a blocker emitting one pair more,
+// a tie-break flipped in the cleanup — fails loudly instead of drifting.
+// Every pinned value is integer-derived (match counts, edge counts) or an
+// exact ratio of integers; the pipeline under a string-equality matcher uses
+// no transcendental math, so the values are stable across
+// compilers/platforms. If a deliberate semantic change moves them, re-derive
+// with the printout below each EXPECT block and update the constants in the
+// same commit that explains why.
+
+#include <gtest/gtest.h>
+
+#include "blocking/id_overlap.h"
+#include "blocking/token_overlap.h"
+#include "core/pipeline.h"
+#include "datagen/financial_gen.h"
+#include "datagen/wdc_gen.h"
+#include "eval/metrics.h"
+#include "matching/baselines.h"
+
+namespace gralmatch {
+namespace {
+
+TEST(GoldenFinancial, SecuritiesPipelineMetricsPinned) {
+  // Same fixture as the integration suite (seed 505, 250 groups), ID +
+  // Token Overlap blocking, the deterministic identifier-overlap matcher,
+  // and the paper's cleanup configuration.
+  SyntheticConfig config;
+  config.seed = 505;
+  config.num_groups = 250;
+  FinancialBenchmark bench = FinancialGenerator(config).Generate();
+
+  CandidateSet candidates;
+  IdOverlapBlocker().AddCandidates(bench.securities, &candidates);
+  TokenOverlapBlocker::Options topts;
+  topts.top_n = 5;
+  TokenOverlapBlocker(topts).AddCandidates(bench.securities, &candidates);
+  EXPECT_EQ(candidates.size(), 1863u);
+
+  PipelineConfig pipe_config;
+  pipe_config.cleanup.gamma = 25;
+  pipe_config.cleanup.mu = 5;
+  pipe_config.pre_cleanup_threshold = 50;
+  HeuristicIdMatcher matcher;
+  PipelineResult result = EntityGroupPipeline(pipe_config)
+                              .Run(bench.securities, candidates.ToVector(),
+                                   matcher);
+
+  EXPECT_EQ(result.predicted_pairs.size(), 1222u);
+  EXPECT_EQ(result.groups.size(), 519u);
+  EXPECT_EQ(result.cleanup_stats.pre_cleanup_edges_removed, 0u);
+  EXPECT_EQ(result.cleanup_stats.min_cut_calls, 0u);
+  EXPECT_EQ(result.cleanup_stats.min_cut_edges_removed, 0u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_calls, 40u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_edges_removed, 40u);
+
+  const PrfMetrics pre =
+      GroupPrf(result.pre_cleanup_components, bench.securities.truth);
+  EXPECT_EQ(pre.tp, 1241u);
+  EXPECT_EQ(pre.fp, 32u);
+  EXPECT_EQ(pre.fn, 354u);
+
+  const PrfMetrics post = GroupPrf(result.groups, bench.securities.truth);
+  EXPECT_EQ(post.tp, 1195u);
+  EXPECT_EQ(post.fp, 26u);
+  EXPECT_EQ(post.fn, 400u);
+
+  // Table-4-style derived scores (exact ratios of the integers above).
+  EXPECT_NEAR(pre.Precision(), 0.9748625295, 1e-9);
+  EXPECT_NEAR(pre.Recall(), 0.7780564263, 1e-9);
+  EXPECT_NEAR(post.Precision(), 0.9787059787, 1e-9);
+  EXPECT_NEAR(post.Recall(), 0.7492163009, 1e-9);
+  EXPECT_NEAR(post.F1(), 0.8487215909, 1e-9);
+  EXPECT_NEAR(ClusterPurity(result.groups, bench.securities.truth),
+              0.9866666667, 1e-9);
+}
+
+TEST(GoldenWdc, PerfectPredictionsCleanupMetricsPinned) {
+  // The paper's WDC finding in pinned numbers: with perfect pairwise
+  // predictions and heterogeneous group sizes, mu = 5 over-splits — post
+  // precision stays 1.0 while recall collapses to 426/1289.
+  WdcConfig config;
+  config.num_entities = 150;
+  config.seed = 99;
+  Dataset products = WdcProductsGenerator(config).Generate();
+
+  std::vector<Candidate> positives;
+  for (const auto& pair : products.truth.AllTruePairs()) {
+    positives.push_back({pair, kBlockerTokenOverlap});
+  }
+  EXPECT_EQ(positives.size(), 1289u);
+
+  PipelineConfig pipe_config;
+  pipe_config.cleanup.gamma = 25;
+  pipe_config.cleanup.mu = 5;
+  PipelineResult result =
+      EntityGroupPipeline(pipe_config)
+          .RunOnPredictions(products.records.size(), positives);
+
+  EXPECT_EQ(result.predicted_pairs.size(), 1289u);
+  EXPECT_EQ(result.groups.size(), 264u);
+  EXPECT_EQ(result.cleanup_stats.pre_cleanup_edges_removed, 0u);
+  EXPECT_EQ(result.cleanup_stats.min_cut_calls, 0u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_calls, 863u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_edges_removed, 863u);
+
+  const PrfMetrics pre = GroupPrf(result.pre_cleanup_components,
+                                  products.truth);
+  EXPECT_EQ(pre.tp, 1289u);
+  EXPECT_EQ(pre.fp, 0u);
+  EXPECT_EQ(pre.fn, 0u);
+
+  const PrfMetrics post = GroupPrf(result.groups, products.truth);
+  EXPECT_EQ(post.tp, 426u);
+  EXPECT_EQ(post.fp, 0u);
+  EXPECT_EQ(post.fn, 863u);
+
+  EXPECT_NEAR(post.Precision(), 1.0, 1e-12);
+  EXPECT_NEAR(post.Recall(), 0.3304887510, 1e-9);
+  EXPECT_NEAR(post.F1(), 0.4967930029, 1e-9);
+  EXPECT_NEAR(ClusterPurity(result.groups, products.truth), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gralmatch

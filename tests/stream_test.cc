@@ -1,0 +1,487 @@
+// Differential test suite for the incremental matching subsystem: after any
+// sequence of Ingest() calls, IncrementalPipeline::Snapshot() must be
+// identical — predicted pairs, pre-cleanup components, groups, and all
+// cleanup counters — to a from-scratch EntityGroupPipeline::Run on the union
+// of all batches with the same blockers and matcher, at any thread count.
+// Schedules cover: one batch (== full run), K equal batches, singleton
+// batches, random split points, and source-interleaved arrival order, on
+// both the financial-securities and WDC-products fixtures. The suite also
+// proves the pair-score cache prevents matcher re-invocation (a counting
+// matcher asserts every scored pair is scored exactly once per fingerprint)
+// and that a fingerprint change invalidates the cache.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/id_overlap.h"
+#include "blocking/token_overlap.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datagen/financial_gen.h"
+#include "datagen/wdc_gen.h"
+#include "stream/incremental_pipeline.h"
+#include "text/normalize.h"
+
+namespace gralmatch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matchers
+// ---------------------------------------------------------------------------
+
+/// Deterministic text matcher (token Jaccard of AllText, scaled): avoids
+/// transcendental math so scores are bit-identical everywhere, and carries a
+/// tunable `scale` that changes its fingerprint.
+class JaccardMatcher : public PairwiseMatcher {
+ public:
+  explicit JaccardMatcher(double scale = 1.0) : scale_(scale) {}
+
+  std::string name() const override { return "jaccard"; }
+  std::string Fingerprint() const override {
+    return "jaccard#" + std::to_string(scale_);
+  }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    auto ta = Tokens(a);
+    auto tb = Tokens(b);
+    if (ta.empty() && tb.empty()) return 0.0;
+    size_t common = 0;
+    size_t ia = 0, ib = 0;
+    while (ia < ta.size() && ib < tb.size()) {
+      if (ta[ia] < tb[ib]) {
+        ++ia;
+      } else if (tb[ib] < ta[ia]) {
+        ++ib;
+      } else {
+        ++common;
+        ++ia;
+        ++ib;
+      }
+    }
+    const size_t total = ta.size() + tb.size() - common;
+    double score = scale_ * static_cast<double>(common) /
+                   static_cast<double>(total == 0 ? 1 : total);
+    return score > 1.0 ? 1.0 : score;
+  }
+
+ private:
+  static std::vector<std::string> Tokens(const Record& rec) {
+    auto toks = TokenizeContentWords(rec.AllText());
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    return toks;
+  }
+
+  double scale_;
+};
+
+/// Wrapper proving cache effectiveness: counts calls and the distinct pairs
+/// seen (via the "_uid" metadata attribute the fixtures stamp on every
+/// record). Thread-safe, as the pipeline requires.
+class CountingMatcher : public PairwiseMatcher {
+ public:
+  explicit CountingMatcher(const PairwiseMatcher* inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::string Fingerprint() const override { return inner_->Fingerprint(); }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++calls_;
+      int ua = std::stoi(std::string(a.Get("_uid")));
+      int ub = std::stoi(std::string(b.Get("_uid")));
+      seen_.insert({std::min(ua, ub), std::max(ua, ub)});
+    }
+    return inner_->MatchProbability(a, b);
+  }
+
+  size_t calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+  size_t distinct_pairs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_.size();
+  }
+
+ private:
+  const PairwiseMatcher* inner_;
+  mutable std::mutex mu_;
+  mutable size_t calls_ = 0;
+  mutable std::set<std::pair<int, int>> seen_;
+};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Records of `table` as a vector, each stamped with a unique "_uid"
+/// metadata attribute (excluded from matching inputs by convention).
+std::vector<Record> WithUids(const RecordTable& table) {
+  std::vector<Record> out;
+  out.reserve(table.size());
+  for (size_t i = 0; i < table.size(); ++i) {
+    Record rec = table.at(static_cast<RecordId>(i));
+    rec.Set("_uid", std::to_string(i));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+/// From-scratch reference: the same blockers and pipeline configuration the
+/// incremental pipeline maintains, run on the full record set.
+PipelineResult RunBatchReference(const RecordTable& records,
+                                 const IncrementalPipelineConfig& config,
+                                 const PairwiseMatcher& matcher) {
+  Dataset ds;
+  ds.records = records;
+  CandidateSet candidates;
+  if (config.use_id_blocker) {
+    IdOverlapBlocker::Options opts;
+    opts.num_threads = config.pipeline.num_threads;
+    IdOverlapBlocker(opts).AddCandidates(ds, &candidates);
+  }
+  if (config.use_token_blocker) {
+    TokenOverlapBlocker::Options opts = config.token;
+    opts.num_threads = config.pipeline.num_threads;
+    TokenOverlapBlocker(opts).AddCandidates(ds, &candidates);
+  }
+  return EntityGroupPipeline(config.pipeline)
+      .Run(ds, candidates.ToVector(), matcher);
+}
+
+void ExpectEquivalent(const PipelineResult& incremental,
+                      const PipelineResult& reference,
+                      const std::string& context) {
+  EXPECT_EQ(incremental.predicted_pairs, reference.predicted_pairs) << context;
+  EXPECT_EQ(incremental.pre_cleanup_components,
+            reference.pre_cleanup_components)
+      << context;
+  EXPECT_EQ(incremental.groups, reference.groups) << context;
+  EXPECT_EQ(incremental.cleanup_stats.pre_cleanup_edges_removed,
+            reference.cleanup_stats.pre_cleanup_edges_removed)
+      << context;
+  EXPECT_EQ(incremental.cleanup_stats.min_cut_calls,
+            reference.cleanup_stats.min_cut_calls)
+      << context;
+  EXPECT_EQ(incremental.cleanup_stats.min_cut_edges_removed,
+            reference.cleanup_stats.min_cut_edges_removed)
+      << context;
+  EXPECT_EQ(incremental.cleanup_stats.betweenness_calls,
+            reference.cleanup_stats.betweenness_calls)
+      << context;
+  EXPECT_EQ(incremental.cleanup_stats.betweenness_edges_removed,
+            reference.cleanup_stats.betweenness_edges_removed)
+      << context;
+}
+
+/// Ingest `records` in batches of the given sizes and differential-check
+/// every `check_every`-th ingest (and always the last) against the
+/// from-scratch reference.
+void RunSchedule(const std::vector<Record>& records,
+                 const std::vector<size_t>& batch_sizes,
+                 const IncrementalPipelineConfig& config,
+                 const PairwiseMatcher& matcher, size_t check_every = 1) {
+  IncrementalPipeline pipeline(config);
+  size_t offset = 0;
+  for (size_t b = 0; b < batch_sizes.size(); ++b) {
+    const size_t size = batch_sizes[b];
+    ASSERT_LE(offset + size, records.size());
+    std::vector<Record> batch(records.begin() + static_cast<long>(offset),
+                              records.begin() +
+                                  static_cast<long>(offset + size));
+    pipeline.Ingest(batch, matcher);
+    offset += size;
+    const bool last = b + 1 == batch_sizes.size();
+    if (!last && (b + 1) % check_every != 0) continue;
+    const std::string context = "after batch " + std::to_string(b + 1) + "/" +
+                                std::to_string(batch_sizes.size()) +
+                                " (threads=" +
+                                std::to_string(config.pipeline.num_threads) +
+                                ")";
+    ExpectEquivalent(pipeline.Snapshot(),
+                     RunBatchReference(pipeline.records(), config, matcher),
+                     context);
+  }
+  ASSERT_EQ(offset, records.size());
+}
+
+std::vector<size_t> EqualBatches(size_t n, size_t k) {
+  std::vector<size_t> sizes(k, n / k);
+  sizes.back() += n % k;
+  return sizes;
+}
+
+/// Pipeline configuration tightened so every cleanup phase actually fires
+/// on these fixture sizes (pre-cleanup edge removal, min-cut splits and
+/// betweenness trims all have nonzero counters — verified by the counter
+/// comparison in ExpectEquivalent being non-vacuous).
+IncrementalPipelineConfig StreamConfig(size_t num_threads,
+                                       double match_threshold) {
+  IncrementalPipelineConfig config;
+  config.pipeline.cleanup.gamma = 6;
+  config.pipeline.cleanup.mu = 3;
+  config.pipeline.pre_cleanup_threshold = 9;
+  config.pipeline.match_threshold = match_threshold;
+  config.pipeline.num_threads = num_threads;
+  config.token.top_n = 5;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Financial fixture
+// ---------------------------------------------------------------------------
+
+class FinancialStream : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig config;
+    config.seed = 505;
+    config.num_groups = 60;
+    FinancialBenchmark bench = FinancialGenerator(config).Generate();
+    records_ = new std::vector<Record>(WithUids(bench.securities.records));
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    records_ = nullptr;
+  }
+
+  static std::vector<Record>* records_;
+};
+
+std::vector<Record>* FinancialStream::records_ = nullptr;
+
+TEST_F(FinancialStream, SingleBatchEqualsFullRun) {
+  JaccardMatcher matcher;
+  RunSchedule(*records_, {records_->size()}, StreamConfig(1, 0.25), matcher);
+}
+
+TEST_F(FinancialStream, KBatchesEquivalentAtEveryThreadCount) {
+  JaccardMatcher matcher;
+  for (size_t threads : {1u, 2u, 8u}) {
+    RunSchedule(*records_, EqualBatches(records_->size(), 6),
+                StreamConfig(threads, 0.25), matcher);
+  }
+}
+
+TEST_F(FinancialStream, SingletonBatchesEquivalent) {
+  // Every record its own batch: the maximal-churn schedule (document
+  // frequencies, the max-df cap, and bucket sizes shift on every ingest).
+  SyntheticConfig config;
+  config.seed = 505;
+  config.num_groups = 40;
+  FinancialBenchmark bench = FinancialGenerator(config).Generate();
+  std::vector<Record> records = WithUids(bench.securities.records);
+  JaccardMatcher matcher;
+  RunSchedule(records, std::vector<size_t>(records.size(), 1),
+              StreamConfig(1, 0.25), matcher, /*check_every=*/40);
+}
+
+TEST_F(FinancialStream, RandomizedSchedulesEquivalent) {
+  JaccardMatcher matcher;
+  Rng rng(2026);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<size_t> sizes;
+    size_t remaining = records_->size();
+    while (remaining > 0) {
+      size_t size = 1 + rng.Uniform(remaining < 90 ? remaining : 90);
+      sizes.push_back(size);
+      remaining -= size;
+    }
+    RunSchedule(*records_, sizes, StreamConfig(1, 0.25), matcher,
+                /*check_every=*/2);
+  }
+}
+
+TEST_F(FinancialStream, InterleavedSourceArrivalEquivalent) {
+  // Sources drip-feed round-robin (vendor A's file, then vendor B's, ...):
+  // the union is a reordering of the fixture, and equivalence must hold for
+  // that arrival order too.
+  std::vector<Record> interleaved;
+  interleaved.reserve(records_->size());
+  std::vector<std::vector<size_t>> by_source;
+  for (size_t i = 0; i < records_->size(); ++i) {
+    const size_t source = static_cast<size_t>((*records_)[i].source());
+    if (by_source.size() <= source) by_source.resize(source + 1);
+    by_source[source].push_back(i);
+  }
+  for (size_t k = 0; !by_source.empty(); ++k) {
+    bool any = false;
+    for (const auto& ids : by_source) {
+      if (k < ids.size()) {
+        interleaved.push_back((*records_)[ids[k]]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  ASSERT_EQ(interleaved.size(), records_->size());
+  JaccardMatcher matcher;
+  for (size_t threads : {1u, 8u}) {
+    RunSchedule(interleaved, EqualBatches(interleaved.size(), 5),
+                StreamConfig(threads, 0.25), matcher);
+  }
+}
+
+TEST_F(FinancialStream, ScoreCachePreventsMatcherReinvocation) {
+  JaccardMatcher inner;
+  CountingMatcher counting(&inner);
+  IncrementalPipelineConfig config = StreamConfig(4, 0.25);
+  IncrementalPipeline pipeline(config);
+  const std::vector<size_t> sizes = EqualBatches(records_->size(), 8);
+  size_t offset = 0;
+  for (size_t size : sizes) {
+    std::vector<Record> batch(records_->begin() + static_cast<long>(offset),
+                              records_->begin() +
+                                  static_cast<long>(offset + size));
+    pipeline.Ingest(batch, counting);
+    offset += size;
+  }
+  // The headline cache property: no pair is ever scored twice.
+  EXPECT_GT(counting.calls(), 0u);
+  EXPECT_EQ(counting.calls(), counting.distinct_pairs());
+  EXPECT_EQ(counting.calls(), pipeline.total_matcher_calls());
+  // Sanity: the incremental run produced a real result.
+  PipelineResult result = pipeline.Snapshot();
+  EXPECT_GT(result.predicted_pairs.size(), 0u);
+  EXPECT_GT(result.groups.size(), 0u);
+}
+
+TEST_F(FinancialStream, FingerprintChangeInvalidatesCacheAndStaysEquivalent) {
+  JaccardMatcher matcher_v1(1.0);
+  JaccardMatcher matcher_v2(1.4);
+  ASSERT_NE(matcher_v1.Fingerprint(), matcher_v2.Fingerprint());
+
+  IncrementalPipelineConfig config = StreamConfig(2, 0.25);
+  IncrementalPipeline pipeline(config);
+  const size_t half = records_->size() / 2;
+  std::vector<Record> first(records_->begin(),
+                            records_->begin() + static_cast<long>(half));
+  std::vector<Record> second(records_->begin() + static_cast<long>(half),
+                             records_->end());
+
+  pipeline.Ingest(first, matcher_v1);
+  const size_t calls_v1 = pipeline.total_matcher_calls();
+  EXPECT_GT(calls_v1, 0u);
+
+  // Swapping the matcher (empty batch) rescores every current candidate and
+  // the snapshot tracks the new matcher's from-scratch result.
+  IngestReport swap = pipeline.Ingest({}, matcher_v2);
+  EXPECT_EQ(swap.records_added, 0u);
+  EXPECT_GT(swap.pairs_scored, 0u);
+  ExpectEquivalent(pipeline.Snapshot(),
+                   RunBatchReference(pipeline.records(), config, matcher_v2),
+                   "after matcher swap");
+
+  pipeline.Ingest(second, matcher_v2);
+  ExpectEquivalent(pipeline.Snapshot(),
+                   RunBatchReference(pipeline.records(), config, matcher_v2),
+                   "after matcher swap + second half");
+}
+
+TEST_F(FinancialStream, EmptyBatchIsANoOp) {
+  JaccardMatcher matcher;
+  IncrementalPipelineConfig config = StreamConfig(1, 0.25);
+  IncrementalPipeline pipeline(config);
+  pipeline.Ingest(*records_, matcher);
+  PipelineResult before = pipeline.Snapshot();
+  const size_t calls = pipeline.total_matcher_calls();
+
+  IngestReport report = pipeline.Ingest({}, matcher);
+  EXPECT_EQ(report.records_added, 0u);
+  EXPECT_EQ(report.pairs_scored, 0u);
+  EXPECT_EQ(report.candidates_added, 0u);
+  EXPECT_EQ(report.candidates_removed, 0u);
+  EXPECT_EQ(report.components_rebuilt, 0u);
+  EXPECT_EQ(pipeline.total_matcher_calls(), calls);
+  ExpectEquivalent(pipeline.Snapshot(), before, "after empty batch");
+}
+
+TEST_F(FinancialStream, ReportsObserveIncrementalScoping) {
+  JaccardMatcher matcher;
+  IncrementalPipelineConfig config = StreamConfig(1, 0.25);
+  IncrementalPipeline pipeline(config);
+  const std::vector<size_t> sizes = EqualBatches(records_->size(), 6);
+  size_t offset = 0;
+  size_t reused_total = 0;
+  for (size_t size : sizes) {
+    std::vector<Record> batch(records_->begin() + static_cast<long>(offset),
+                              records_->begin() +
+                                  static_cast<long>(offset + size));
+    IngestReport report = pipeline.Ingest(batch, matcher);
+    offset += size;
+    EXPECT_EQ(report.records_added, size);
+    reused_total += report.components_reused;
+  }
+  // Later batches must splice some untouched components through unchanged —
+  // the point of dirty-component scoping.
+  EXPECT_GT(reused_total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WDC products fixture
+// ---------------------------------------------------------------------------
+
+TEST(WdcStream, KBatchesEquivalentAtEveryThreadCount) {
+  WdcConfig config;
+  config.num_entities = 120;
+  config.seed = 77;
+  Dataset products = WdcProductsGenerator(config).Generate();
+  std::vector<Record> records = WithUids(products.records);
+  JaccardMatcher matcher;
+  for (size_t threads : {1u, 2u, 8u}) {
+    RunSchedule(records, EqualBatches(records.size(), 5),
+                StreamConfig(threads, 0.35), matcher);
+  }
+}
+
+TEST(WdcStream, RandomizedSchedulesEquivalent) {
+  WdcConfig config;
+  config.num_entities = 120;
+  config.seed = 77;
+  Dataset products = WdcProductsGenerator(config).Generate();
+  std::vector<Record> records = WithUids(products.records);
+  JaccardMatcher matcher;
+  Rng rng(7);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<size_t> sizes;
+    size_t remaining = records.size();
+    while (remaining > 0) {
+      size_t size = 1 + rng.Uniform(remaining < 70 ? remaining : 70);
+      sizes.push_back(size);
+      remaining -= size;
+    }
+    RunSchedule(records, sizes, StreamConfig(1, 0.35), matcher,
+                /*check_every=*/2);
+  }
+}
+
+TEST(WdcStream, ScoreCacheOnProductsNeverRescores) {
+  WdcConfig config;
+  config.num_entities = 120;
+  config.seed = 77;
+  Dataset products = WdcProductsGenerator(config).Generate();
+  std::vector<Record> records = WithUids(products.records);
+  JaccardMatcher inner;
+  CountingMatcher counting(&inner);
+  IncrementalPipeline pipeline(StreamConfig(2, 0.35));
+  size_t offset = 0;
+  for (size_t size : EqualBatches(records.size(), 7)) {
+    std::vector<Record> batch(records.begin() + static_cast<long>(offset),
+                              records.begin() +
+                                  static_cast<long>(offset + size));
+    pipeline.Ingest(batch, counting);
+    offset += size;
+  }
+  EXPECT_GT(counting.calls(), 0u);
+  EXPECT_EQ(counting.calls(), counting.distinct_pairs());
+  EXPECT_EQ(counting.calls(), pipeline.total_matcher_calls());
+}
+
+}  // namespace
+}  // namespace gralmatch
