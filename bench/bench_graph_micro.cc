@@ -25,6 +25,8 @@
 #include "graph/min_cut.h"
 #include "matching/baselines.h"
 #include "nn/transformer.h"
+#include "serve/checkpoint.h"
+#include "serve/match_service.h"
 #include "stream/incremental_pipeline.h"
 #include "text/similarity.h"
 #include "text/vocab.h"
@@ -225,6 +227,70 @@ void BM_FullRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRecompute)->Arg(4)->Arg(16)->ArgName("batches")
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Checkpointing and serving. BM_CheckpointSave/Load measure the in-memory
+// serialize/parse cost of a fully-ingested pipeline (file I/O excluded:
+// it's machine noise); BM_ServeQuery measures the lock-free read path under
+// a published snapshot. Compare rows within one artifact only.
+// ---------------------------------------------------------------------------
+
+/// A pipeline with the full incremental fixture ingested (shared, built
+/// once).
+const IncrementalPipeline& CheckpointBenchPipeline() {
+  static const IncrementalPipeline* pipeline = [] {
+    auto* p = new IncrementalPipeline(IncrementalBenchConfig());
+    HeuristicIdMatcher matcher;
+    p->Ingest(IncrementalBenchRecords(), matcher);
+    return p;
+  }();
+  return *pipeline;
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const IncrementalPipeline& pipeline = CheckpointBenchPipeline();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string image = SerializeCheckpoint(pipeline);
+    bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointSave)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const std::string image = SerializeCheckpoint(CheckpointBenchPipeline());
+  HeuristicIdMatcher matcher;
+  for (auto _ : state) {
+    auto restored = ParseCheckpoint(image, matcher);
+    if (!restored.ok()) {
+      state.SkipWithError("checkpoint load failed");
+      break;
+    }
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(image.size()) *
+                          static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckpointLoad)->Unit(benchmark::kMillisecond);
+
+void BM_ServeQuery(benchmark::State& state) {
+  const IncrementalPipeline& pipeline = CheckpointBenchPipeline();
+  MatchService service;
+  service.Publish(pipeline.Snapshot(), pipeline.records().size());
+  const size_t n = pipeline.records().size();
+  uint32_t rng_state = 1;
+  for (auto _ : state) {
+    rng_state = rng_state * 1664525u + 1013904223u;
+    MatchSnapshotPtr view = service.View();
+    const RecordId r = static_cast<RecordId>(rng_state % n);
+    const GroupId gid = view->GroupOf(r);
+    benchmark::DoNotOptimize(view->Members(gid).size());
+  }
+}
+BENCHMARK(BM_ServeQuery);
 
 void BM_Levenshtein(benchmark::State& state) {
   std::string a = "crowdstrike holdings incorporated";

@@ -12,6 +12,7 @@
 #include "blocking/token_overlap.h"
 #include "common/strings.h"
 #include "common/union_find.h"
+#include "exec/thread_pool.h"
 
 namespace gralmatch {
 namespace bench {
@@ -43,7 +44,7 @@ BenchConfig ParseBenchConfig(int argc, char** argv) {
   BenchConfig config;
   config.scale = flags.GetDouble("scale", config.scale);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  config.num_threads = static_cast<size_t>(
+  config.num_threads = ResolveNumThreads(
       flags.GetInt("num_threads", static_cast<int64_t>(config.num_threads)));
   config.epochs = static_cast<size_t>(flags.GetInt("epochs", 3));
   config.model_dir = flags.GetString("model_dir", config.model_dir);

@@ -17,6 +17,7 @@
 #include "core/pipeline.h"
 #include "datagen/financial_gen.h"
 #include "eval/metrics.h"
+#include "exec/thread_pool.h"
 #include "matching/pair_sampling.h"
 #include "matching/transformer_matcher.h"
 #include "matching/variants.h"
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
   gen_config.num_groups = static_cast<size_t>(flags.GetInt("groups", 250));
   gen_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
   size_t epochs = static_cast<size_t>(flags.GetInt("epochs", 2));
-  size_t num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
+  size_t num_threads = ResolveNumThreads(flags.GetInt("num_threads", 1));
 
   FinancialBenchmark bench = FinancialGenerator(gen_config).Generate();
   std::printf("Benchmark: %zu company / %zu security records across %zu "

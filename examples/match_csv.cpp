@@ -21,6 +21,7 @@
 #include "core/pipeline.h"
 #include "data/csv.h"
 #include "eval/metrics.h"
+#include "exec/thread_pool.h"
 #include "matching/baselines.h"
 #include "matching/pair_sampling.h"
 #include "text/similarity.h"
@@ -140,7 +141,7 @@ int main(int argc, char** argv) {
   config.cleanup.mu = static_cast<size_t>(
       flags.GetInt("mu", static_cast<int64_t>(data.records.NumSources())));
   config.pre_cleanup_threshold = 50;
-  config.num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
+  config.num_threads = ResolveNumThreads(flags.GetInt("num_threads", 1));
   EntityGroupPipeline pipeline(config);
   PipelineResult result = pipeline.Run(data, candidates.ToVector(), matcher);
   std::printf("GraLMatch produced %zu entity groups (largest %zu).\n",

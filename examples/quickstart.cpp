@@ -11,6 +11,7 @@
 #include "blocking/token_overlap.h"
 #include "common/cli.h"
 #include "core/pipeline.h"
+#include "exec/thread_pool.h"
 #include "datagen/financial_gen.h"
 #include "eval/metrics.h"
 #include "matching/baselines.h"
@@ -61,8 +62,9 @@ int main(int argc, char** argv) {
   pipe_config.cleanup.mu = 5;  // one record per data source
   pipe_config.pre_cleanup_threshold = 50;
   // Scoring and cleanup fan out over worker threads; the resulting groups
-  // are identical at any thread count.
-  pipe_config.num_threads = static_cast<size_t>(flags.GetInt("num_threads", 1));
+  // are identical at any thread count. 0 means "use all cores"; negative
+  // values clamp to serial.
+  pipe_config.num_threads = ResolveNumThreads(flags.GetInt("num_threads", 1));
   EntityGroupPipeline pipeline(pipe_config);
   PipelineResult result =
       pipeline.Run(bench.companies, candidates.ToVector(), matcher);

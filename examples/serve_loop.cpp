@@ -1,0 +1,198 @@
+// Ingest-while-querying: the serving story end to end. A synthetic
+// securities feed arrives in batches; the ingest thread streams each batch
+// through the IncrementalPipeline and publishes an epoch snapshot to a
+// MatchService, while reader threads concurrently answer GroupOf / Members /
+// Stats queries against whatever epoch is current — every reader always
+// sees one consistent epoch.
+//
+// With --checkpoint the run also exercises durability: after the first half
+// of the batches the pipeline state is saved, the pipeline is destroyed,
+// and ingestion resumes from the restored checkpoint — the final result
+// must be identical to a run that never restarted (and the restore itself
+// bitwise-identical to the saved state).
+//
+//   ./examples/serve_loop [--groups N] [--batches K] [--readers R]
+//       [--num_threads T] [--checkpoint PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "blocking/id_overlap.h"
+#include "blocking/token_overlap.h"
+#include "common/cli.h"
+#include "core/pipeline.h"
+#include "datagen/financial_gen.h"
+#include "exec/thread_pool.h"
+#include "matching/baselines.h"
+#include "serve/checkpoint.h"
+#include "serve/match_service.h"
+#include "stream/incremental_pipeline.h"
+
+using namespace gralmatch;
+
+namespace {
+
+/// From-scratch reference on the union of all batches (the batch-equivalence
+/// oracle the stream/serve tests pin).
+PipelineResult Reference(const RecordTable& records,
+                         const IncrementalPipelineConfig& config,
+                         const PairwiseMatcher& matcher) {
+  Dataset ds;
+  ds.records = records;
+  CandidateSet candidates;
+  IdOverlapBlocker().AddCandidates(ds, &candidates);
+  TokenOverlapBlocker(config.token).AddCandidates(ds, &candidates);
+  return EntityGroupPipeline(config.pipeline)
+      .Run(ds, candidates.ToVector(), matcher);
+}
+
+bool SameResult(const PipelineResult& a, const PipelineResult& b) {
+  return a.predicted_pairs == b.predicted_pairs && a.groups == b.groups &&
+         a.pre_cleanup_components == b.pre_cleanup_components;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  const size_t num_groups =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("groups", 80)));
+  const size_t num_batches =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("batches", 8)));
+  const size_t num_readers =
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("readers", 3)));
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+
+  SyntheticConfig gen_config;
+  gen_config.seed = 404;
+  gen_config.num_groups = num_groups;
+  FinancialBenchmark bench = FinancialGenerator(gen_config).Generate();
+  const std::vector<Record>& records = bench.securities.records.records();
+  const size_t batch_size = (records.size() + num_batches - 1) / num_batches;
+  std::printf("Feed: %zu security records in %zu batches of <=%zu.\n",
+              records.size(), num_batches, batch_size);
+
+  IncrementalPipelineConfig config;
+  config.pipeline.cleanup.gamma = 8;
+  config.pipeline.cleanup.mu = 4;
+  config.pipeline.pre_cleanup_threshold = 12;
+  config.pipeline.match_threshold = 0.5;
+  config.pipeline.num_threads =
+      ResolveNumThreads(flags.GetInt("num_threads", 2));
+  HeuristicIdMatcher matcher;
+
+  auto pipeline = std::make_unique<IncrementalPipeline>(config);
+  MatchService service;
+
+  // Readers hammer the service for the whole run: they see epoch 0 (empty)
+  // until the first publish, then whichever epoch is current.
+  std::atomic<bool> done{false};
+  std::atomic<size_t> total_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+  for (size_t t = 0; t < num_readers; ++t) {
+    readers.emplace_back([&service, &done, &total_queries, t] {
+      size_t queries = 0;
+      uint32_t rng_state = static_cast<uint32_t>(t) * 2654435761u + 1u;
+      while (!done.load(std::memory_order_acquire)) {
+        MatchSnapshotPtr view = service.View();
+        const ServeStats stats = view->stats();
+        if (stats.num_records == 0) continue;
+        rng_state = rng_state * 1664525u + 1013904223u;
+        const RecordId r = static_cast<RecordId>(rng_state % stats.num_records);
+        const GroupId gid = view->GroupOf(r);
+        // Within one view, GroupOf and Members always agree — a torn read
+        // across epochs would trip this.
+        const auto& members = view->Members(gid);
+        bool found = false;
+        for (RecordId m : members) found = found || m == r;
+        if (!found) {
+          std::fprintf(stderr, "reader %zu: record %d missing from its own "
+                               "group at epoch %llu\n",
+                       t, r, static_cast<unsigned long long>(stats.epoch));
+          std::abort();
+        }
+        ++queries;
+      }
+      total_queries.fetch_add(queries);
+    });
+  }
+
+  auto ingest_batch = [&](size_t index) {
+    // Clamp both ends: more batches than records leaves trailing indexes
+    // with an empty (but well-defined) slice.
+    const size_t begin = std::min(index * batch_size, records.size());
+    const size_t end = std::min(begin + batch_size, records.size());
+    std::vector<Record> batch(records.begin() + static_cast<long>(begin),
+                              records.begin() + static_cast<long>(end));
+    IngestReport report = pipeline->Ingest(batch, matcher);
+    const uint64_t epoch =
+        service.Publish(pipeline->Snapshot(), pipeline->records().size());
+    std::printf("  epoch %2llu: +%zu records, %zu scored, %zu cache hits, "
+                "%zu/%zu components rebuilt\n",
+                static_cast<unsigned long long>(epoch), report.records_added,
+                report.pairs_scored, report.cache_hits,
+                report.components_rebuilt,
+                report.components_rebuilt + report.components_reused);
+  };
+
+  const size_t half = num_batches / 2;
+  std::printf("Ingesting first %zu batches...\n", half);
+  for (size_t b = 0; b < half; ++b) ingest_batch(b);
+
+  if (!checkpoint_path.empty()) {
+    // Durability drill: save, destroy, restore, and verify the restored
+    // snapshot matches the live one bitwise before continuing.
+    const PipelineResult before = pipeline->Snapshot();
+    Status st = SaveCheckpoint(*pipeline, checkpoint_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    pipeline.reset();
+    auto restored = LoadCheckpoint(checkpoint_path, matcher);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "checkpoint load failed: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    pipeline = restored.MoveValueUnsafe();
+    if (!SameResult(pipeline->Snapshot(), before)) {
+      std::fprintf(stderr, "restored snapshot differs from saved state\n");
+      return 1;
+    }
+    std::printf("Checkpointed %zu records to %s, restarted from it "
+                "(snapshot identical).\n",
+                pipeline->records().size(), checkpoint_path.c_str());
+  }
+
+  std::printf("Ingesting remaining batches while readers query...\n");
+  for (size_t b = half; b < num_batches; ++b) ingest_batch(b);
+
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  const ServeStats stats = service.Stats();
+  std::printf("\nFinal epoch %llu: %zu records, %zu groups (%zu matched), "
+              "%zu positive pairs; readers answered %zu queries during "
+              "ingestion.\n",
+              static_cast<unsigned long long>(stats.epoch), stats.num_records,
+              stats.num_groups, stats.num_matched_groups,
+              stats.num_predicted_pairs, total_queries.load());
+
+  // The streaming + restart run must equal a from-scratch batch run.
+  if (!SameResult(pipeline->Snapshot(),
+                  Reference(pipeline->records(), config, matcher))) {
+    std::fprintf(stderr, "FAIL: final snapshot differs from the from-scratch "
+                         "reference\n");
+    return 1;
+  }
+  std::printf("PASS: final snapshot equals the from-scratch reference.\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "core/pipeline.h"
 #include "datagen/wdc_gen.h"
 #include "eval/metrics.h"
+#include "exec/thread_pool.h"
 #include "matching/baselines.h"
 #include "matching/pair_sampling.h"
 
@@ -64,8 +65,7 @@ int main(int argc, char** argv) {
     PipelineConfig config;
     config.cleanup.gamma = 25;
     config.cleanup.mu = mu;
-    config.num_threads =
-        static_cast<size_t>(flags.GetInt("num_threads", 1));
+    config.num_threads = ResolveNumThreads(flags.GetInt("num_threads", 1));
     EntityGroupPipeline pipeline(config);
     PipelineResult result =
         pipeline.Run(products, candidates.ToVector(), matcher);

@@ -3,12 +3,77 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "exec/parallel.h"
 #include "text/normalize.h"
 
 namespace gralmatch {
 
 namespace {
+
+/// Serialize a pair->refcount map in sorted pair order (deterministic bytes).
+void WriteRefcounts(
+    const std::unordered_map<RecordPair, uint32_t, RecordPairHash>& refcount,
+    BinaryWriter* writer) {
+  std::vector<std::pair<RecordPair, uint32_t>> entries(refcount.begin(),
+                                                       refcount.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer->WriteU64(entries.size());
+  for (const auto& [pair, count] : entries) {
+    writer->WriteI32(pair.a);
+    writer->WriteI32(pair.b);
+    writer->WriteU32(count);
+  }
+}
+
+/// Read a pair->refcount map whose record ids must lie in [0, limit) and
+/// whose counts must be positive (zero entries are never stored).
+Status ReadRefcounts(
+    BinaryReader* reader, size_t limit,
+    std::unordered_map<RecordPair, uint32_t, RecordPairHash>* refcount) {
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(12, &count));
+  refcount->clear();
+  refcount->reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordPair pair;
+    uint32_t refs = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.a));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.b));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&refs));
+    if (pair.a < 0 || pair.b < 0 || static_cast<size_t>(pair.a) >= limit ||
+        static_cast<size_t>(pair.b) >= limit || refs == 0) {
+      return Status::IOError("corrupted index state: bad refcount entry");
+    }
+    (*refcount)[pair] = refs;
+  }
+  return Status::OK();
+}
+
+void WriteRecordIds(const std::vector<RecordId>& ids, BinaryWriter* writer) {
+  writer->WriteU64(ids.size());
+  for (RecordId id : ids) writer->WriteI32(id);
+}
+
+/// Read a RecordId vector whose entries must lie in [0, limit).
+Status ReadRecordIds(BinaryReader* reader, size_t limit,
+                     std::vector<RecordId>* ids) {
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &count));
+  ids->clear();
+  ids->reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordId id = kInvalidRecord;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&id));
+    if (id < 0 || static_cast<size_t>(id) >= limit) {
+      return Status::IOError("corrupted index state: record id " +
+                             std::to_string(id) + " out of range");
+    }
+    ids->push_back(id);
+  }
+  return Status::OK();
+}
 
 /// Finalize a refcount-delta pass: compare each touched pair's pre-batch
 /// refcount snapshot against its current one, emit membership transitions,
@@ -190,6 +255,111 @@ std::vector<RecordPair> IncrementalTokenOverlapIndex::CurrentPairs() const {
   return out;
 }
 
+void IncrementalTokenOverlapIndex::SaveState(BinaryWriter* writer) const {
+  writer->WriteU64(options_.top_n);
+  writer->WriteU64(options_.min_overlap);
+  writer->WriteDouble(options_.max_token_df);
+  writer->WriteU64(num_records_);
+  writer->WriteU32(max_df_);
+
+  // Tokens in id order: interning order matters because the (count desc,
+  // id asc) ranking tie-break compares token-holder record ids — it must
+  // survive the round trip exactly.
+  std::vector<const std::string*> token_of_id(tokens_.size(), nullptr);
+  for (const auto& [text, tid] : token_id_) {
+    token_of_id[static_cast<size_t>(tid)] = &text;
+  }
+  writer->WriteU64(tokens_.size());
+  for (size_t tid = 0; tid < tokens_.size(); ++tid) {
+    writer->WriteString(*token_of_id[tid]);
+    writer->WriteU32(tokens_[tid].df);
+    WriteRecordIds(tokens_[tid].postings, writer);
+  }
+
+  writer->WriteU64(record_tokens_.size());
+  for (const auto& ids : record_tokens_) {
+    writer->WriteU64(ids.size());
+    for (int32_t tid : ids) writer->WriteI32(tid);
+  }
+  writer->WriteU64(kept_.size());
+  for (const auto& ids : kept_) WriteRecordIds(ids, writer);
+  WriteRefcounts(refcount_, writer);
+}
+
+Status IncrementalTokenOverlapIndex::LoadState(BinaryReader* reader) {
+  uint64_t top_n = 0, min_overlap = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&top_n));
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&min_overlap));
+  options_.top_n = static_cast<size_t>(top_n);
+  options_.min_overlap = static_cast<size_t>(min_overlap);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&options_.max_token_df));
+  options_.num_threads = 1;  // ignored by this class; pools come via callers
+
+  uint64_t num_records = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&num_records));
+  num_records_ = static_cast<size_t>(num_records);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&max_df_));
+
+  uint64_t num_tokens = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(13, &num_tokens));
+  token_id_.clear();
+  tokens_.clear();
+  tokens_.reserve(static_cast<size_t>(num_tokens));
+  df_buckets_.clear();
+  for (uint64_t tid = 0; tid < num_tokens; ++tid) {
+    std::string text;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadString(&text));
+    TokenInfo info;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&info.df));
+    GRALMATCH_RETURN_NOT_OK(ReadRecordIds(reader, num_records_, &info.postings));
+    auto [it, inserted] =
+        token_id_.emplace(std::move(text), static_cast<int32_t>(tid));
+    (void)it;
+    if (!inserted) {
+      return Status::IOError("corrupted token index: duplicate token text");
+    }
+    // Rebuild the df-bucket membership from its defining invariant:
+    // df_buckets_[d] holds exactly the tokens whose current df is d.
+    if (info.df > 0) df_buckets_[info.df].insert(static_cast<int32_t>(tid));
+    tokens_.push_back(std::move(info));
+  }
+
+  uint64_t rows = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(8, &rows));
+  if (rows != num_records_) {
+    return Status::IOError("corrupted token index: per-record token rows " +
+                           std::to_string(rows) + " != record count " +
+                           std::to_string(num_records_));
+  }
+  record_tokens_.assign(static_cast<size_t>(rows), {});
+  for (auto& ids : record_tokens_) {
+    uint64_t count = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &count));
+    ids.reserve(static_cast<size_t>(count));
+    for (uint64_t k = 0; k < count; ++k) {
+      int32_t tid = -1;
+      GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&tid));
+      if (tid < 0 || static_cast<size_t>(tid) >= tokens_.size()) {
+        return Status::IOError("corrupted token index: token id " +
+                               std::to_string(tid) + " out of range");
+      }
+      ids.push_back(tid);
+    }
+  }
+
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(8, &rows));
+  if (rows != num_records_) {
+    return Status::IOError("corrupted token index: kept-list rows " +
+                           std::to_string(rows) + " != record count " +
+                           std::to_string(num_records_));
+  }
+  kept_.assign(static_cast<size_t>(rows), {});
+  for (auto& ids : kept_) {
+    GRALMATCH_RETURN_NOT_OK(ReadRecordIds(reader, num_records_, &ids));
+  }
+  return ReadRefcounts(reader, num_records_, &refcount_);
+}
+
 // ---------------------------------------------------------------------------
 // ID Overlap
 // ---------------------------------------------------------------------------
@@ -286,6 +456,49 @@ std::vector<RecordPair> IncrementalIdOverlapIndex::CurrentPairs() const {
   out.reserve(refcount_.size());
   for (const auto& [pair, count] : refcount_) out.push_back(pair);
   return out;
+}
+
+void IncrementalIdOverlapIndex::SaveState(BinaryWriter* writer) const {
+  writer->WriteU64(max_bucket_);
+  writer->WriteU64(num_records_);
+  // Buckets in sorted value order for deterministic bytes; holder lists
+  // verbatim (their insertion order is the prefix future diffs slice on).
+  std::vector<const std::string*> values;
+  values.reserve(index_.size());
+  for (const auto& [value, holders] : index_) values.push_back(&value);
+  std::sort(values.begin(), values.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  writer->WriteU64(values.size());
+  for (const std::string* value : values) {
+    writer->WriteString(*value);
+    WriteRecordIds(index_.at(*value), writer);
+  }
+  WriteRefcounts(refcount_, writer);
+}
+
+Status IncrementalIdOverlapIndex::LoadState(BinaryReader* reader) {
+  uint64_t max_bucket = 0, num_records = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&max_bucket));
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&num_records));
+  max_bucket_ = static_cast<size_t>(max_bucket);
+  num_records_ = static_cast<size_t>(num_records);
+
+  uint64_t buckets = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(16, &buckets));
+  index_.clear();
+  index_.reserve(static_cast<size_t>(buckets));
+  for (uint64_t k = 0; k < buckets; ++k) {
+    std::string value;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadString(&value));
+    std::vector<RecordId> holders;
+    GRALMATCH_RETURN_NOT_OK(ReadRecordIds(reader, num_records_, &holders));
+    auto [it, inserted] = index_.emplace(std::move(value), std::move(holders));
+    (void)it;
+    if (!inserted) {
+      return Status::IOError("corrupted id index: duplicate identifier value");
+    }
+  }
+  return ReadRefcounts(reader, num_records_, &refcount_);
 }
 
 }  // namespace gralmatch

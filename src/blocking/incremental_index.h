@@ -30,10 +30,13 @@
 
 #include "blocking/id_overlap.h"
 #include "blocking/token_overlap.h"
+#include "common/status.h"
 #include "data/record.h"
 
 namespace gralmatch {
 
+class BinaryReader;
+class BinaryWriter;
 class ThreadPool;
 
 /// Candidate-pair membership changes produced by one AddRecords call.
@@ -69,6 +72,18 @@ class IncrementalTokenOverlapIndex {
 
   size_t num_records() const { return num_records_; }
   size_t num_tokens() const { return tokens_.size(); }
+
+  /// Serialize the complete index state (options included) into `writer`.
+  /// Map-backed members are emitted in sorted order, so the bytes are a
+  /// deterministic function of the logical state.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restore the state written by SaveState, replacing the current contents.
+  /// The df-bucket structure is rebuilt from the per-token document
+  /// frequencies (its defining invariant) rather than round-tripped. Returns
+  /// an error on truncated or inconsistent input, leaving the index in an
+  /// unspecified state that must be discarded.
+  Status LoadState(BinaryReader* reader);
 
  private:
   struct TokenInfo {
@@ -118,6 +133,12 @@ class IncrementalIdOverlapIndex {
   std::vector<RecordPair> CurrentPairs() const;
 
   size_t num_records() const { return num_records_; }
+
+  /// Serialize / restore the complete index state; same contract as the
+  /// token index's SaveState/LoadState. Bucket holder order is preserved
+  /// verbatim (it determines how future batches diff against the past).
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   size_t max_bucket_ = IdOverlapBlocker::kMaxBucket;

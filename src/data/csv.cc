@@ -42,7 +42,13 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text) 
         row_started = true;
         break;
       case '\r':
-        break;
+        // Line terminator: CRLF (skip the LF half) or a bare classic-Mac
+        // CR. A stray \r mid-field used to be silently dropped, gluing the
+        // text around it into one field — treating every unquoted \r as a
+        // row break matches how \r-accepting CSV readers behave. Literal
+        // \r content belongs in a quoted field (the writer quotes it).
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        [[fallthrough]];
       case '\n':
         if (row_started || !field.empty() || !row.empty()) {
           row.push_back(std::move(field));

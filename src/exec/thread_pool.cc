@@ -63,4 +63,10 @@ std::unique_ptr<ThreadPool> MaybeMakePool(size_t num_threads) {
   return std::make_unique<ThreadPool>(num_threads);
 }
 
+size_t ResolveNumThreads(int64_t requested) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  if (requested == 0) return ThreadPool::DefaultNumThreads();
+  return 1;
+}
+
 }  // namespace gralmatch

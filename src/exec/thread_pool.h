@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -64,6 +65,14 @@ class ThreadPool {
 /// A pool of `num_threads` workers, or null when `num_threads <= 1` — the
 /// shape every ParallelFor call site wants for its serial fallback.
 std::unique_ptr<ThreadPool> MaybeMakePool(size_t num_threads);
+
+/// Validate a user-supplied thread-count request (--num_threads flags and
+/// config fields): positive values pass through, 0 resolves to the hardware
+/// concurrency, and negative values clamp to 1 (serial). Call this at the
+/// flag boundary — a negative value cast straight to the size_t fields of
+/// PipelineConfig or the blocker Options would wrap to ~2^64 and try to
+/// spawn that many workers.
+size_t ResolveNumThreads(int64_t requested);
 
 }  // namespace gralmatch
 

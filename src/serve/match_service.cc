@@ -1,0 +1,70 @@
+#include "serve/match_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gralmatch {
+
+MatchSnapshot::MatchSnapshot(uint64_t epoch, const PipelineResult& result,
+                             size_t num_records) {
+  groups_.reserve(result.groups.size());
+  group_of_.assign(num_records, kNoGroup);
+  for (const auto& group : result.groups) {
+    const GroupId gid = static_cast<GroupId>(groups_.size());
+    std::vector<RecordId> members;
+    members.reserve(group.size());
+    for (NodeId u : group) {
+      if (u < 0 || static_cast<size_t>(u) >= num_records) continue;
+      members.push_back(static_cast<RecordId>(u));
+      group_of_[static_cast<size_t>(u)] = gid;
+    }
+    std::sort(members.begin(), members.end());
+    groups_.push_back(std::move(members));
+  }
+
+  stats_.epoch = epoch;
+  stats_.num_records = num_records;
+  stats_.num_groups = groups_.size();
+  stats_.num_predicted_pairs = result.predicted_pairs.size();
+  for (const auto& members : groups_) {
+    if (members.size() >= 2) ++stats_.num_matched_groups;
+  }
+}
+
+GroupId MatchSnapshot::GroupOf(RecordId record) const {
+  if (record < 0 || static_cast<size_t>(record) >= group_of_.size()) {
+    return kNoGroup;
+  }
+  return group_of_[static_cast<size_t>(record)];
+}
+
+const std::vector<RecordId>& MatchSnapshot::Members(GroupId group) const {
+  if (group < 0 || static_cast<size_t>(group) >= groups_.size()) {
+    return empty_;
+  }
+  return groups_[static_cast<size_t>(group)];
+}
+
+MatchService::MatchService() {
+  current_ = std::make_shared<const MatchSnapshot>(0, PipelineResult{}, 0);
+}
+
+uint64_t MatchService::Publish(const PipelineResult& result,
+                               size_t num_records) {
+  // The publish mutex serializes writers only (epoch draw + snapshot build
+  // + swap). Readers never take it: they keep serving their previous
+  // snapshot, which its shared_ptr keeps alive, until the swap lands.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t epoch = next_epoch_++;
+  auto snapshot =
+      std::make_shared<const MatchSnapshot>(epoch, result, num_records);
+  std::atomic_store_explicit(&current_, MatchSnapshotPtr(std::move(snapshot)),
+                             std::memory_order_release);
+  return epoch;
+}
+
+MatchSnapshotPtr MatchService::View() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+}  // namespace gralmatch

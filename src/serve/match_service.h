@@ -1,0 +1,122 @@
+#ifndef GRALMATCH_SERVE_MATCH_SERVICE_H_
+#define GRALMATCH_SERVE_MATCH_SERVICE_H_
+
+/// \file match_service.h
+/// Concurrent read serving for the incremental pipeline: one ingest thread
+/// publishes immutable, epoch-numbered snapshots of the current match
+/// result, and any number of reader threads answer queries against them
+/// while ingestion proceeds.
+///
+/// Consistency model: Publish() builds a complete MatchSnapshot off to the
+/// side and then swaps one shared_ptr (under the publish mutex, which only
+/// writers take). Readers obtain the current snapshot with an atomic
+/// shared_ptr load — the read path never takes a lock in user code — and a
+/// snapshot, once obtained, is immutable: every query against it observes
+/// one consistent epoch, no matter how many epochs the writer publishes
+/// meanwhile. The epoch a reader observes is monotonically non-decreasing
+/// across successive View() calls.
+///
+/// The per-call conveniences (GroupOf / Members / Stats on the service)
+/// each resolve against one snapshot, but two *separate* calls may span an
+/// epoch boundary; callers needing multi-query consistency hold a View().
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/record.h"
+
+namespace gralmatch {
+
+/// Aggregate counters of one published epoch.
+struct ServeStats {
+  uint64_t epoch = 0;
+  size_t num_records = 0;
+  /// Entity groups, singletons included.
+  size_t num_groups = 0;
+  /// Groups with at least two records (actual matches).
+  size_t num_matched_groups = 0;
+  size_t num_predicted_pairs = 0;
+
+  bool operator==(const ServeStats& o) const {
+    return epoch == o.epoch && num_records == o.num_records &&
+           num_groups == o.num_groups &&
+           num_matched_groups == o.num_matched_groups &&
+           num_predicted_pairs == o.num_predicted_pairs;
+  }
+};
+
+/// Group id within one epoch: the index of the group in the snapshot's
+/// canonical group order. Ids are only meaningful within their epoch.
+using GroupId = int64_t;
+constexpr GroupId kNoGroup = -1;
+
+/// \brief One immutable published epoch. Thread-safe by construction: all
+/// state is written before publication and never mutated afterwards.
+class MatchSnapshot {
+ public:
+  /// Derive a snapshot from a pipeline result covering `num_records`
+  /// records. `epoch` is assigned by the publishing MatchService.
+  MatchSnapshot(uint64_t epoch, const PipelineResult& result,
+                size_t num_records);
+
+  uint64_t epoch() const { return stats_.epoch; }
+  const ServeStats& stats() const { return stats_; }
+
+  /// Group of a record, kNoGroup for ids outside [0, num_records).
+  GroupId GroupOf(RecordId record) const;
+
+  /// Members of a group (ascending record ids); empty for invalid ids.
+  const std::vector<RecordId>& Members(GroupId group) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  ServeStats stats_;
+  std::vector<GroupId> group_of_;            ///< record id -> group id
+  std::vector<std::vector<RecordId>> groups_;  ///< group id -> member ids
+  std::vector<RecordId> empty_;              ///< Members() result for bad ids
+};
+
+using MatchSnapshotPtr = std::shared_ptr<const MatchSnapshot>;
+
+/// \brief Epoch-snapshot publication point between one ingest thread and
+/// many reader threads.
+class MatchService {
+ public:
+  /// Starts at epoch 0 with an empty snapshot, so readers never observe a
+  /// null view.
+  MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Publish `result` (covering `num_records` records) as the next epoch.
+  /// Called from the ingest thread after each Ingest()+Snapshot(); safe to
+  /// call concurrently with any number of readers, and from multiple
+  /// writers (epoch assignment and the swap are serialized by the mutex).
+  /// Returns the published epoch.
+  uint64_t Publish(const PipelineResult& result, size_t num_records);
+
+  /// The current snapshot (lock-free load; never null). All queries against
+  /// the returned object see that one epoch.
+  MatchSnapshotPtr View() const;
+
+  /// Single-query conveniences; each resolves against one View().
+  GroupId GroupOf(RecordId record) const { return View()->GroupOf(record); }
+  std::vector<RecordId> Members(GroupId group) const {
+    return View()->Members(group);
+  }
+  ServeStats Stats() const { return View()->stats(); }
+
+ private:
+  mutable std::mutex publish_mu_;  ///< serializes writers; readers never lock
+  MatchSnapshotPtr current_;       ///< accessed via std::atomic_{load,store}
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_SERVE_MATCH_SERVICE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/stopwatch.h"
 #include "common/union_find.h"
 #include "core/cleanup.h"
@@ -305,6 +306,426 @@ PipelineResult IncrementalPipeline::Snapshot() const {
   result.cleanup_stats.seconds = cleanup_seconds_total_;
   result.inference_seconds = scoring_seconds_total_;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Sorted snapshot of an unordered pair-keyed map (deterministic bytes).
+template <typename V>
+std::vector<std::pair<RecordPair, V>> SortedEntries(
+    const std::unordered_map<RecordPair, V, RecordPairHash>& map) {
+  std::vector<std::pair<RecordPair, V>> entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+void WritePairs(const std::vector<RecordPair>& pairs, BinaryWriter* writer) {
+  writer->WriteU64(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    writer->WriteI32(pair.a);
+    writer->WriteI32(pair.b);
+  }
+}
+
+/// Read a node-id vector whose entries must lie in [0, num_records).
+Status ReadNodeIds(BinaryReader* reader, size_t num_records,
+                   std::vector<NodeId>* nodes) {
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &count));
+  nodes->clear();
+  nodes->reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    NodeId node = -1;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&node));
+    if (node < 0 || static_cast<size_t>(node) >= num_records) {
+      return Status::IOError("corrupted checkpoint: node id " +
+                             std::to_string(node) + " out of range");
+    }
+    nodes->push_back(node);
+  }
+  return Status::OK();
+}
+
+Status ReadPairs(BinaryReader* reader, size_t num_records,
+                 std::vector<RecordPair>* pairs) {
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(8, &count));
+  pairs->clear();
+  pairs->reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordPair pair;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.a));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.b));
+    if (pair.a < 0 || pair.b < 0 ||
+        static_cast<size_t>(pair.a) >= num_records ||
+        static_cast<size_t>(pair.b) >= num_records) {
+      return Status::IOError("corrupted checkpoint: record pair out of range");
+    }
+    pairs->push_back(pair);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void IncrementalPipeline::Serialize(BinaryWriter* writer) const {
+  // Configuration.
+  writer->WriteU64(config_.pipeline.cleanup.gamma);
+  writer->WriteU64(config_.pipeline.cleanup.mu);
+  writer->WriteDouble(config_.pipeline.match_threshold);
+  writer->WriteU64(config_.pipeline.pre_cleanup_threshold);
+  writer->WriteU64(config_.pipeline.num_threads);
+  writer->WriteU64(config_.token.top_n);
+  writer->WriteU64(config_.token.min_overlap);
+  writer->WriteDouble(config_.token.max_token_df);
+  writer->WriteU8(config_.use_token_blocker ? 1 : 0);
+  writer->WriteU8(config_.use_id_blocker ? 1 : 0);
+
+  // Records, in ingest order.
+  writer->WriteU64(records_.size());
+  for (const Record& rec : records_.records()) {
+    writer->WriteI32(rec.source());
+    writer->WriteU8(static_cast<uint8_t>(rec.kind()));
+    writer->WriteU64(rec.attributes().size());
+    for (const auto& [name, value] : rec.attributes()) {
+      writer->WriteString(name);
+      writer->WriteString(value);
+    }
+  }
+
+  // Blocking indexes.
+  id_index_.SaveState(writer);
+  token_index_.SaveState(writer);
+
+  // Scores and candidate state.
+  writer->WriteString(fingerprint_);
+  auto prov_entries = SortedEntries(candidate_prov_);
+  writer->WriteU64(prov_entries.size());
+  for (const auto& [pair, prov] : prov_entries) {
+    writer->WriteI32(pair.a);
+    writer->WriteI32(pair.b);
+    writer->WriteU32(prov);
+  }
+  auto score_entries = SortedEntries(score_cache_);
+  writer->WriteU64(score_entries.size());
+  for (const auto& [pair, score] : score_entries) {
+    writer->WriteI32(pair.a);
+    writer->WriteI32(pair.b);
+    writer->WriteDouble(score);
+  }
+  std::vector<RecordPair> positives(positives_.begin(), positives_.end());
+  std::sort(positives.begin(), positives.end());
+  WritePairs(positives, writer);
+
+  // Component structure with cached cleanup outcomes.
+  writer->WriteU64(comp_of_node_.size());
+  for (int32_t cid : comp_of_node_) writer->WriteI32(cid);
+  std::vector<int32_t> comp_ids;
+  comp_ids.reserve(comps_.size());
+  for (const auto& [cid, comp] : comps_) comp_ids.push_back(cid);
+  std::sort(comp_ids.begin(), comp_ids.end());
+  writer->WriteU64(comp_ids.size());
+  for (int32_t cid : comp_ids) {
+    const ComponentState& comp = comps_.at(cid);
+    writer->WriteI32(cid);
+    writer->WriteU64(comp.nodes.size());
+    for (NodeId u : comp.nodes) writer->WriteI32(u);
+    WritePairs(comp.pairs, writer);
+    writer->WriteU64(comp.groups.size());
+    for (const auto& group : comp.groups) {
+      writer->WriteU64(group.size());
+      for (NodeId u : group) writer->WriteI32(u);
+    }
+    writer->WriteU64(comp.stats.pre_cleanup_edges_removed);
+    writer->WriteU64(comp.stats.min_cut_calls);
+    writer->WriteU64(comp.stats.min_cut_edges_removed);
+    writer->WriteU64(comp.stats.betweenness_calls);
+    writer->WriteU64(comp.stats.betweenness_edges_removed);
+  }
+  writer->WriteI32(next_comp_id_);
+
+  // Cumulative counters.
+  writer->WriteU64(total_matcher_calls_);
+  writer->WriteU64(total_cache_hits_);
+  writer->WriteDouble(scoring_seconds_total_);
+  writer->WriteDouble(cleanup_seconds_total_);
+}
+
+Result<std::unique_ptr<IncrementalPipeline>> IncrementalPipeline::Deserialize(
+    BinaryReader* reader, size_t num_threads_override) {
+  IncrementalPipelineConfig config;
+  uint64_t u = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.pipeline.cleanup.gamma = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.pipeline.cleanup.mu = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&config.pipeline.match_threshold));
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.pipeline.pre_cleanup_threshold = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.pipeline.num_threads = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.token.top_n = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  config.token.min_overlap = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&config.token.max_token_df));
+  uint8_t flag = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU8(&flag));
+  config.use_token_blocker = flag != 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU8(&flag));
+  config.use_id_blocker = flag != 0;
+  if (num_threads_override > 0) {
+    config.pipeline.num_threads = num_threads_override;
+  }
+
+  auto pipeline = std::make_unique<IncrementalPipeline>(config);
+
+  uint64_t num_records = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(13, &num_records));
+  for (uint64_t r = 0; r < num_records; ++r) {
+    int32_t source = 0;
+    uint8_t kind = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&source));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU8(&kind));
+    if (kind > static_cast<uint8_t>(RecordKind::kProduct)) {
+      return Status::IOError("corrupted checkpoint: unknown record kind " +
+                             std::to_string(kind));
+    }
+    Record rec(static_cast<SourceId>(source), static_cast<RecordKind>(kind));
+    uint64_t num_attrs = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(16, &num_attrs));
+    for (uint64_t a = 0; a < num_attrs; ++a) {
+      std::string name, value;
+      GRALMATCH_RETURN_NOT_OK(reader->ReadString(&name));
+      GRALMATCH_RETURN_NOT_OK(reader->ReadString(&value));
+      rec.Set(name, value);
+    }
+    pipeline->records_.Add(std::move(rec));
+  }
+  const size_t n = pipeline->records_.size();
+
+  GRALMATCH_RETURN_NOT_OK(pipeline->id_index_.LoadState(reader));
+  GRALMATCH_RETURN_NOT_OK(pipeline->token_index_.LoadState(reader));
+  if (pipeline->id_index_.num_records() != n ||
+      pipeline->token_index_.num_records() != n) {
+    return Status::IOError(
+        "corrupted checkpoint: blocking index record counts disagree with "
+        "the record table");
+  }
+
+  GRALMATCH_RETURN_NOT_OK(reader->ReadString(&pipeline->fingerprint_));
+  // Pair ids feed unchecked records_.at() lookups in Ingest, so they are
+  // range-validated here like every other record reference.
+  auto check_pair = [n](const RecordPair& pair) {
+    if (pair.a < 0 || pair.b < 0 || static_cast<size_t>(pair.a) >= n ||
+        static_cast<size_t>(pair.b) >= n) {
+      return Status::IOError("corrupted checkpoint: record pair out of range");
+    }
+    return Status::OK();
+  };
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(12, &count));
+  pipeline->candidate_prov_.reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordPair pair;
+    uint32_t prov = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.a));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.b));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&prov));
+    GRALMATCH_RETURN_NOT_OK(check_pair(pair));
+    pipeline->candidate_prov_[pair] = prov;
+  }
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(16, &count));
+  pipeline->score_cache_.reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordPair pair;
+    double score = 0.0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.a));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.b));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&score));
+    GRALMATCH_RETURN_NOT_OK(check_pair(pair));
+    pipeline->score_cache_[pair] = score;
+  }
+  std::vector<RecordPair> positives;
+  GRALMATCH_RETURN_NOT_OK(ReadPairs(reader, n, &positives));
+  pipeline->positives_.insert(positives.begin(), positives.end());
+
+  // Every current candidate has a cached score and every positive pair is a
+  // current candidate — Ingest() dereferences both unconditionally, so a
+  // checkpoint violating either invariant must be rejected here, not crash
+  // there.
+  const uint32_t known_bits =
+      (config.use_id_blocker ? kBlockerIdOverlap : 0u) |
+      (config.use_token_blocker ? kBlockerTokenOverlap : 0u);
+  for (const auto& [pair, prov] : pipeline->candidate_prov_) {
+    if (prov == 0 || (prov & ~known_bits) != 0) {
+      return Status::IOError(
+          "corrupted checkpoint: candidate provenance bits disagree with the "
+          "configured blockers");
+    }
+    if (!pipeline->score_cache_.count(pair)) {
+      return Status::IOError(
+          "corrupted checkpoint: candidate pair without a cached score");
+    }
+  }
+  for (const RecordPair& pair : pipeline->positives_) {
+    if (!pipeline->candidate_prov_.count(pair)) {
+      return Status::IOError(
+          "corrupted checkpoint: positive pair missing from the candidate "
+          "set");
+    }
+  }
+  // The candidate set must be exactly what the restored blocking indexes
+  // currently produce, bit by bit: a future AddRecords retraction looks the
+  // pair up in candidate_prov_ unchecked, so an index/pipeline mismatch
+  // would dereference end().
+  auto check_index = [&pipeline](const std::vector<RecordPair>& index_pairs,
+                                 uint32_t bit) {
+    size_t with_bit = 0;
+    for (const auto& [pair, prov] : pipeline->candidate_prov_) {
+      (void)pair;
+      if (prov & bit) ++with_bit;
+    }
+    if (with_bit != index_pairs.size()) {
+      return Status::IOError(
+          "corrupted checkpoint: blocking index pair set disagrees with the "
+          "candidate provenance");
+    }
+    for (const RecordPair& pair : index_pairs) {
+      auto it = pipeline->candidate_prov_.find(pair);
+      if (it == pipeline->candidate_prov_.end() || (it->second & bit) == 0) {
+        return Status::IOError(
+            "corrupted checkpoint: blocking index pair missing from the "
+            "candidate set");
+      }
+    }
+    return Status::OK();
+  };
+  if (config.use_id_blocker) {
+    GRALMATCH_RETURN_NOT_OK(
+        check_index(pipeline->id_index_.CurrentPairs(), kBlockerIdOverlap));
+  }
+  if (config.use_token_blocker) {
+    GRALMATCH_RETURN_NOT_OK(check_index(pipeline->token_index_.CurrentPairs(),
+                                        kBlockerTokenOverlap));
+  }
+  // An empty fingerprint means no Ingest ever ran (Ingest sets it
+  // unconditionally), so every other piece of state must be empty too —
+  // otherwise cached scores could never be invalidated by a fingerprint
+  // change.
+  if (pipeline->fingerprint_.empty() &&
+      (n != 0 || !pipeline->candidate_prov_.empty() ||
+       !pipeline->score_cache_.empty() || !pipeline->positives_.empty())) {
+    return Status::IOError(
+        "corrupted checkpoint: pre-ingest fingerprint with non-empty state");
+  }
+
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &count));
+  if (count != n) {
+    return Status::IOError(
+        "corrupted checkpoint: component map size disagrees with the record "
+        "table");
+  }
+  pipeline->comp_of_node_.resize(static_cast<size_t>(count));
+  for (auto& cid : pipeline->comp_of_node_) {
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&cid));
+  }
+
+  uint64_t num_comps = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &num_comps));
+  for (uint64_t k = 0; k < num_comps; ++k) {
+    int32_t cid = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&cid));
+    ComponentState comp;
+    GRALMATCH_RETURN_NOT_OK(ReadNodeIds(reader, n, &comp.nodes));
+    GRALMATCH_RETURN_NOT_OK(ReadPairs(reader, n, &comp.pairs));
+    uint64_t num_groups = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(8, &num_groups));
+    comp.groups.reserve(static_cast<size_t>(num_groups));
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      std::vector<NodeId> group;
+      GRALMATCH_RETURN_NOT_OK(ReadNodeIds(reader, n, &group));
+      comp.groups.push_back(std::move(group));
+    }
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+    comp.stats.pre_cleanup_edges_removed = static_cast<size_t>(u);
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+    comp.stats.min_cut_calls = static_cast<size_t>(u);
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+    comp.stats.min_cut_edges_removed = static_cast<size_t>(u);
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+    comp.stats.betweenness_calls = static_cast<size_t>(u);
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+    comp.stats.betweenness_edges_removed = static_cast<size_t>(u);
+    if (comp.nodes.empty()) {
+      return Status::IOError("corrupted checkpoint: empty component");
+    }
+    if (!pipeline->comps_.emplace(cid, std::move(comp)).second) {
+      return Status::IOError("corrupted checkpoint: duplicate component id");
+    }
+  }
+  for (size_t r = 0; r < pipeline->comp_of_node_.size(); ++r) {
+    const int32_t cid = pipeline->comp_of_node_[r];
+    if (cid >= 0 && !pipeline->comps_.count(cid)) {
+      return Status::IOError(
+          "corrupted checkpoint: record mapped to a missing component");
+    }
+  }
+  // Snapshot() keys each component's emission off its smallest node and
+  // RebuildComponent binary-searches the node list, so the list must be
+  // sorted and unique, agree with the membership map, and contain every
+  // edge endpoint — an edge into another component would index past the
+  // local UnionFind on the next dirty rebuild.
+  for (const auto& [cid, comp] : pipeline->comps_) {
+    if (!std::is_sorted(comp.nodes.begin(), comp.nodes.end()) ||
+        std::adjacent_find(comp.nodes.begin(), comp.nodes.end()) !=
+            comp.nodes.end()) {
+      return Status::IOError(
+          "corrupted checkpoint: component node list is not sorted unique");
+    }
+    for (const NodeId node : comp.nodes) {
+      if (pipeline->comp_of_node_[static_cast<size_t>(node)] != cid) {
+        return Status::IOError(
+            "corrupted checkpoint: component node list disagrees with the "
+            "membership map");
+      }
+    }
+    for (const RecordPair& pair : comp.pairs) {
+      if (!pipeline->positives_.count(pair)) {
+        return Status::IOError(
+            "corrupted checkpoint: component edge is not a positive pair");
+      }
+      if (!std::binary_search(comp.nodes.begin(), comp.nodes.end(), pair.a) ||
+          !std::binary_search(comp.nodes.begin(), comp.nodes.end(), pair.b)) {
+        return Status::IOError(
+            "corrupted checkpoint: component edge endpoint outside the "
+            "component");
+      }
+    }
+  }
+  GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pipeline->next_comp_id_));
+  // The next id must be fresh: colliding with a live component would make a
+  // later rebuild silently merge two components' state.
+  for (const auto& [cid, comp] : pipeline->comps_) {
+    (void)comp;
+    if (cid < 0 || cid >= pipeline->next_comp_id_) {
+      return Status::IOError(
+          "corrupted checkpoint: component id outside [0, next_comp_id)");
+    }
+  }
+
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  pipeline->total_matcher_calls_ = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  pipeline->total_cache_hits_ = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&pipeline->scoring_seconds_total_));
+  GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&pipeline->cleanup_seconds_total_));
+  return pipeline;
 }
 
 }  // namespace gralmatch

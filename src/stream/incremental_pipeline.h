@@ -42,6 +42,8 @@
 
 namespace gralmatch {
 
+class BinaryReader;
+class BinaryWriter;
 class ThreadPool;
 
 /// Parameters of the incremental pipeline: the batch pipeline's config plus
@@ -114,6 +116,28 @@ class IncrementalPipeline {
   /// Cumulative matcher invocations / cache hits across all ingests.
   size_t total_matcher_calls() const { return total_matcher_calls_; }
   size_t total_cache_hits() const { return total_cache_hits_; }
+
+  /// Fingerprint of the matcher used by the last Ingest ("" before the
+  /// first). The checkpoint layer compares it against the serving matcher
+  /// on load, because the score cache is only valid under its fingerprint.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+  /// Serialize the complete pipeline state — config, records, both blocking
+  /// indexes, candidate provenance, the score cache, the match graph's
+  /// positive edges and per-component cleanup results — such that
+  /// Deserialize()->Snapshot() is bitwise-identical to Snapshot() here and
+  /// further Ingest() calls behave exactly as they would have on this
+  /// instance. Map-backed state is written in sorted key order, so equal
+  /// logical states serialize to equal bytes. Framing (magic, version,
+  /// checksum) is the caller's job; see serve/checkpoint.h.
+  void Serialize(BinaryWriter* writer) const;
+
+  /// Rebuild a pipeline from Serialize() output. `num_threads_override`
+  /// replaces the serialized thread count when nonzero (thread count never
+  /// affects results, only scheduling). Returns a clean error on truncated
+  /// or inconsistent input.
+  static Result<std::unique_ptr<IncrementalPipeline>> Deserialize(
+      BinaryReader* reader, size_t num_threads_override = 0);
 
  private:
   /// One connected component of the pristine (pre-cleanup) positive-edge

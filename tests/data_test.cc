@@ -229,6 +229,53 @@ TEST(CsvEdgeCaseTest, CrlfInsideQuotedFieldIsPreserved) {
   EXPECT_EQ((*rows)[0], (std::vector<std::string>{"x", "line1\r\nline2"}));
 }
 
+TEST(CsvEdgeCaseTest, BareCarriageReturnIsARowBreak) {
+  // Regression: a bare \r (classic-Mac line ending) used to be silently
+  // dropped, gluing "a\rb\rc" into one row {"ab c..."}-style. It now
+  // terminates the row, like every \r-accepting CSV reader.
+  auto rows = ParseCsv("a,b\rc,d\re");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"e"}));
+}
+
+TEST(CsvEdgeCaseTest, MixedLineTerminatorsAgree) {
+  auto rows = ParseCsv("a\r\nb\rc\nd");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"b"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"c"}));
+  EXPECT_EQ((*rows)[3], (std::vector<std::string>{"d"}));
+}
+
+TEST(CsvEdgeCaseTest, FinalRowWithCrAndNoNewline) {
+  auto rows = ParseCsv("a,b\r");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvEdgeCaseTest, BlankCrlfLinesAreSkipped) {
+  auto rows = ParseCsv("a\r\n\r\n\rb\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"b"}));
+}
+
+TEST(CsvEdgeCaseTest, FieldsOfBareLineTerminatorsRoundTrip) {
+  // The writer quotes \r and \n content, so fields that *are* line
+  // terminators survive; on parse the quoted bytes are preserved verbatim.
+  const std::vector<std::vector<std::string>> rows = {
+      {"\r", "\n"}, {"\r\n"}, {"a\rb", "c\nd"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
 TEST(CsvEdgeCaseTest, QuotedFieldWithEmbeddedSeparatorsAndQuotes) {
   auto rows = ParseCsv("\"a,b\n\"\"c\"\"\",plain\n");
   ASSERT_TRUE(rows.ok());

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -40,6 +41,29 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
 
 TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
   EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResolveNumThreadsValidatesFlagValues) {
+  // Positive requests pass through untouched.
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(8), 8u);
+  // 0 means "use the hardware": always at least one worker.
+  EXPECT_EQ(ResolveNumThreads(0), ThreadPool::DefaultNumThreads());
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  // Negative values clamp to serial instead of wrapping to ~2^64 workers
+  // when assigned into the size_t num_threads config fields.
+  EXPECT_EQ(ResolveNumThreads(-1), 1u);
+  EXPECT_EQ(ResolveNumThreads(-1000000), 1u);
+  EXPECT_EQ(ResolveNumThreads(std::numeric_limits<int64_t>::min()), 1u);
+}
+
+TEST(ThreadPoolTest, ResolvedValuesAreSafeForMaybeMakePool) {
+  // The resolved value of a hostile flag must construct (or skip) a pool
+  // without trying to spawn an absurd number of workers.
+  EXPECT_EQ(MaybeMakePool(ResolveNumThreads(-7)), nullptr);
+  auto pool = MaybeMakePool(ResolveNumThreads(2));
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 2u);
 }
 
 TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {

@@ -46,6 +46,61 @@ TEST(SimilarityTest, LevenshteinSimilarityNormalized) {
   EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-9);
 }
 
+TEST(SimilarityTest, JaroEmptyAndSingleCharEdgeCases) {
+  // Empty-vs-empty is a perfect match by convention; empty-vs-nonempty has
+  // no matching characters at all.
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("a", "b"), 0.0);
+  // One char against two: m=1, |a|=1, |b|=2, t=0 -> (1/1 + 1/2 + 1)/3.
+  EXPECT_DOUBLE_EQ(Jaro("a", "ab"), (1.0 + 1.0 / 2.0 + 1.0) / 3.0);
+  EXPECT_DOUBLE_EQ(Jaro("ab", "a"), (1.0 / 2.0 + 1.0 + 1.0) / 3.0);
+  // "ab" vs "ba": the match window floor(max/2)-1 = 0 admits no cross
+  // matches, so the standard value is 0, not a transposition of 2 matches.
+  EXPECT_DOUBLE_EQ(Jaro("ab", "ba"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("a", "a"), 1.0);
+}
+
+TEST(SimilarityTest, JaroHandComputedReferenceValues) {
+  // Classic textbook pairs, against by-hand runs of the Winkler-variant
+  // definition: window = max(|a|,|b|)/2 - 1, transpositions = half the
+  // matched positions whose characters disagree.
+  // martha/marhta: m=6, th<->ht gives t=1 -> (1 + 1 + 5/6)/3 = 17/18.
+  EXPECT_DOUBLE_EQ(Jaro("martha", "marhta"), (1.0 + 1.0 + 5.0 / 6.0) / 3.0);
+  // dwayne/duane: m=4 (d,a,n,e), t=0 -> (4/6 + 4/5 + 1)/3 = 37/45.
+  EXPECT_DOUBLE_EQ(Jaro("dwayne", "duane"),
+                   (4.0 / 6.0 + 4.0 / 5.0 + 1.0) / 3.0);
+  // dixon/dicksonx: m=4 (d,i,o,n), t=0 -> (4/5 + 4/8 + 1)/3 = 23/30.
+  EXPECT_DOUBLE_EQ(Jaro("dixon", "dicksonx"),
+                   (4.0 / 5.0 + 4.0 / 8.0 + 1.0) / 3.0);
+  // crate/trace: window 1 admits only r,a,e -> (3/5 + 3/5 + 1)/3 = 11/15.
+  EXPECT_DOUBLE_EQ(Jaro("crate", "trace"), (3.0 / 5.0 + 3.0 / 5.0 + 1.0) / 3.0);
+  // abcd/badc: all four chars match, every matched position disagrees ->
+  // t=2 -> (1 + 1 + 2/4)/3.
+  EXPECT_DOUBLE_EQ(Jaro("abcd", "badc"), (1.0 + 1.0 + 2.0 / 4.0) / 3.0);
+}
+
+TEST(SimilarityTest, JaroWinklerHandComputedReferenceValues) {
+  // jw = j + 0.1 * prefix * (1 - j), prefix capped at 4.
+  const double j_martha = (1.0 + 1.0 + 5.0 / 6.0) / 3.0;
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "marhta"),
+                   j_martha + 0.1 * 3.0 * (1.0 - j_martha));
+  const double j_dwayne = (4.0 / 6.0 + 4.0 / 5.0 + 1.0) / 3.0;
+  EXPECT_DOUBLE_EQ(JaroWinkler("dwayne", "duane"),
+                   j_dwayne + 0.1 * 1.0 * (1.0 - j_dwayne));
+  const double j_dixon = (4.0 / 5.0 + 4.0 / 8.0 + 1.0) / 3.0;
+  EXPECT_DOUBLE_EQ(JaroWinkler("dixon", "dicksonx"),
+                   j_dixon + 0.1 * 2.0 * (1.0 - j_dixon));
+  // Prefix boost caps at 4 shared characters even when more agree.
+  const double j_abcdef = (4.0 / 6.0 + 4.0 / 6.0 + 1.0) / 3.0;
+  EXPECT_DOUBLE_EQ(JaroWinkler("abcdef", "abcdxy"),
+                   j_abcdef + 0.1 * 4.0 * (1.0 - j_abcdef));
+}
+
 TEST(SimilarityTest, JaroWinklerProperties) {
   EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
   EXPECT_DOUBLE_EQ(JaroWinkler("abc", ""), 0.0);
