@@ -27,6 +27,7 @@
 #include "nn/transformer.h"
 #include "serve/checkpoint.h"
 #include "serve/match_service.h"
+#include "shard/sharded_pipeline.h"
 #include "stream/incremental_pipeline.h"
 #include "text/similarity.h"
 #include "text/vocab.h"
@@ -189,8 +190,8 @@ void BM_IncrementalIngest(benchmark::State& state) {
       const size_t end = std::min(offset + batch_size, records.size());
       std::vector<Record> batch(records.begin() + static_cast<long>(offset),
                                 records.begin() + static_cast<long>(end));
-      pipeline.Ingest(batch, matcher);
-      PipelineResult result = pipeline.Snapshot();
+      pipeline.Ingest(batch, matcher).ValueOrDie();
+      PipelineResult result = pipeline.Snapshot().ValueOrDie();
       benchmark::DoNotOptimize(result);
     }
   }
@@ -228,6 +229,35 @@ void BM_FullRecompute(benchmark::State& state) {
 BENCHMARK(BM_FullRecompute)->Arg(4)->Arg(16)->ArgName("batches")
     ->Unit(benchmark::kMillisecond);
 
+// BM_ShardedIngest runs the BM_IncrementalIngest schedule (same fixture,
+// same config, fixed 16 batches) through a ShardedPipeline at S shards:
+// the shards:1 row vs BM_IncrementalIngest/batches:16 is the cost of the
+// exchange/merge layer, and shards:{2,4} vs shards:1 is the partitioning
+// behaviour. Same-artifact comparisons only, like every row here.
+void BM_ShardedIngest(benchmark::State& state) {
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatches = 16;
+  const std::vector<Record>& records = IncrementalBenchRecords();
+  const size_t batch_size = (records.size() + kBatches - 1) / kBatches;
+  ShardedPipelineConfig config;
+  config.base = IncrementalBenchConfig();
+  config.num_shards = num_shards;
+  HeuristicIdMatcher matcher;
+  for (auto _ : state) {
+    ShardedPipeline pipeline(config);
+    for (size_t offset = 0; offset < records.size(); offset += batch_size) {
+      const size_t end = std::min(offset + batch_size, records.size());
+      std::vector<Record> batch(records.begin() + static_cast<long>(offset),
+                                records.begin() + static_cast<long>(end));
+      pipeline.Ingest(batch, matcher).ValueOrDie();
+      PipelineResult result = pipeline.Snapshot().ValueOrDie();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->ArgName("shards")
+    ->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Checkpointing and serving. BM_CheckpointSave/Load measure the in-memory
 // serialize/parse cost of a fully-ingested pipeline (file I/O excluded:
@@ -241,7 +271,7 @@ const IncrementalPipeline& CheckpointBenchPipeline() {
   static const IncrementalPipeline* pipeline = [] {
     auto* p = new IncrementalPipeline(IncrementalBenchConfig());
     HeuristicIdMatcher matcher;
-    p->Ingest(IncrementalBenchRecords(), matcher);
+    p->Ingest(IncrementalBenchRecords(), matcher).ValueOrDie();
     return p;
   }();
   return *pipeline;
@@ -251,7 +281,7 @@ void BM_CheckpointSave(benchmark::State& state) {
   const IncrementalPipeline& pipeline = CheckpointBenchPipeline();
   size_t bytes = 0;
   for (auto _ : state) {
-    std::string image = SerializeCheckpoint(pipeline);
+    std::string image = SerializeCheckpoint(pipeline).ValueOrDie();
     bytes = image.size();
     benchmark::DoNotOptimize(image.data());
   }
@@ -261,7 +291,8 @@ void BM_CheckpointSave(benchmark::State& state) {
 BENCHMARK(BM_CheckpointSave)->Unit(benchmark::kMillisecond);
 
 void BM_CheckpointLoad(benchmark::State& state) {
-  const std::string image = SerializeCheckpoint(CheckpointBenchPipeline());
+  const std::string image =
+      SerializeCheckpoint(CheckpointBenchPipeline()).ValueOrDie();
   HeuristicIdMatcher matcher;
   for (auto _ : state) {
     auto restored = ParseCheckpoint(image, matcher);
@@ -279,7 +310,7 @@ BENCHMARK(BM_CheckpointLoad)->Unit(benchmark::kMillisecond);
 void BM_ServeQuery(benchmark::State& state) {
   const IncrementalPipeline& pipeline = CheckpointBenchPipeline();
   MatchService service;
-  service.Publish(pipeline.Snapshot(), pipeline.records().size());
+  service.Publish(pipeline.Snapshot().ValueOrDie(), pipeline.records().size());
   const size_t n = pipeline.records().size();
   uint32_t rng_state = 1;
   for (auto _ : state) {

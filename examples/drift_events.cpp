@@ -110,8 +110,8 @@ int main() {
       MakeRecord(3, "CrowdStrike", "US318077DSIE"),
   };
   std::printf("=== Batch 1: Crowdstrike arrives (Figure 2) ===\n");
-  PrintReport(pipeline.Ingest(batch1, matcher));
-  PrintGroups(pipeline.Snapshot());
+  PrintReport(pipeline.Ingest(batch1, matcher).ValueOrDie());
+  PrintGroups(pipeline.Snapshot().ValueOrDie());
 
   // --- Batch 2: the Crowdstreet near-collision.
   std::vector<Record> batch2 = {
@@ -120,8 +120,8 @@ int main() {
       MakeRecord(2, "Crowd street Properties", ""),
   };
   std::printf("\n=== Batch 2: Crowdstreet near-collision ===\n");
-  PrintReport(pipeline.Ingest(batch2, matcher));
-  PrintGroups(pipeline.Snapshot());
+  PrintReport(pipeline.Ingest(batch2, matcher).ValueOrDie());
+  PrintGroups(pipeline.Snapshot().ValueOrDie());
 
   // --- Batch 3: the corporate event (Figure 3). Herotel is acquired by
   // Hearst; record #8's identifiers were overwritten with the acquirer's,
@@ -134,13 +134,13 @@ int main() {
       MakeRecord(3, "Hearst Corporation", "US4444HRST"),
   };
   std::printf("\n=== Batch 3: acquisition drift + false positive ===\n");
-  IngestReport report = pipeline.Ingest(batch3, matcher);
+  IngestReport report = pipeline.Ingest(batch3, matcher).ValueOrDie();
   PrintReport(report);
   std::printf("  (the Crowd* components were untouched by this batch: "
               "%zu spliced through unchanged)\n",
               report.components_reused);
 
-  PipelineResult result = pipeline.Snapshot();
+  PipelineResult result = pipeline.Snapshot().ValueOrDie();
   bool herotel_direct = false;
   for (const auto& pair : result.predicted_pairs) {
     if (pair == RecordPair(7, 9) || pair == RecordPair(7, 10)) {

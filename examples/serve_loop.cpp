@@ -130,9 +130,16 @@ int main(int argc, char** argv) {
     const size_t end = std::min(begin + batch_size, records.size());
     std::vector<Record> batch(records.begin() + static_cast<long>(begin),
                               records.begin() + static_cast<long>(end));
-    IngestReport report = pipeline->Ingest(batch, matcher);
+    Result<IngestReport> ingested = pipeline->Ingest(batch, matcher);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   ingested.status().ToString().c_str());
+      std::abort();
+    }
+    const IngestReport& report = *ingested;
     const uint64_t epoch =
-        service.Publish(pipeline->Snapshot(), pipeline->records().size());
+        service.Publish(pipeline->Snapshot().ValueOrDie(),
+                        pipeline->records().size());
     std::printf("  epoch %2llu: +%zu records, %zu scored, %zu cache hits, "
                 "%zu/%zu components rebuilt\n",
                 static_cast<unsigned long long>(epoch), report.records_added,
@@ -148,7 +155,7 @@ int main(int argc, char** argv) {
   if (!checkpoint_path.empty()) {
     // Durability drill: save, destroy, restore, and verify the restored
     // snapshot matches the live one bitwise before continuing.
-    const PipelineResult before = pipeline->Snapshot();
+    const PipelineResult before = pipeline->Snapshot().ValueOrDie();
     Status st = SaveCheckpoint(*pipeline, checkpoint_path);
     if (!st.ok()) {
       std::fprintf(stderr, "checkpoint save failed: %s\n",
@@ -163,7 +170,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     pipeline = restored.MoveValueUnsafe();
-    if (!SameResult(pipeline->Snapshot(), before)) {
+    if (!SameResult(pipeline->Snapshot().ValueOrDie(), before)) {
       std::fprintf(stderr, "restored snapshot differs from saved state\n");
       return 1;
     }
@@ -187,7 +194,7 @@ int main(int argc, char** argv) {
               stats.num_predicted_pairs, total_queries.load());
 
   // The streaming + restart run must equal a from-scratch batch run.
-  if (!SameResult(pipeline->Snapshot(),
+  if (!SameResult(pipeline->Snapshot().ValueOrDie(),
                   Reference(pipeline->records(), config, matcher))) {
     std::fprintf(stderr, "FAIL: final snapshot differs from the from-scratch "
                          "reference\n");

@@ -135,6 +135,14 @@ std::vector<RecordId> IncrementalTokenOverlapIndex::RankRecord(
   return kept;
 }
 
+std::vector<std::string> IncrementalTokenOverlapIndex::ExtractKeys(
+    const Record& record) {
+  auto toks = TokenizeContentWords(record.AllText());
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+
 CandidateDelta IncrementalTokenOverlapIndex::AddRecords(
     const RecordTable& records, ThreadPool* pool) {
   const size_t old_n = num_records_;
@@ -142,18 +150,25 @@ CandidateDelta IncrementalTokenOverlapIndex::AddRecords(
   if (new_n <= old_n) return {};
 
   // Tokenize the new records (deduplicated tokens); records are independent,
-  // so this fans out; interning below stays serial so ids are deterministic.
+  // so this fans out.
   std::vector<std::vector<std::string>> new_tokens(new_n - old_n);
   ParallelFor(
       pool, 0, new_tokens.size(),
       [&](size_t k) {
-        auto toks = TokenizeContentWords(
-            records.at(static_cast<RecordId>(old_n + k)).AllText());
-        std::sort(toks.begin(), toks.end());
-        toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
-        new_tokens[k] = std::move(toks);
+        new_tokens[k] =
+            ExtractKeys(records.at(static_cast<RecordId>(old_n + k)));
       },
       /*grain=*/32);
+  return AddPublishedRecords(records, std::move(new_tokens), pool);
+}
+
+CandidateDelta IncrementalTokenOverlapIndex::AddPublishedRecords(
+    const RecordTable& records, std::vector<std::vector<std::string>> published,
+    ThreadPool* pool) {
+  const size_t old_n = num_records_;
+  const size_t new_n = records.size();
+  if (new_n <= old_n) return {};
+  std::vector<std::vector<std::string>>& new_tokens = published;
 
   // Intern tokens and update document frequencies / postings in place,
   // remembering each touched token's pre-batch df.
@@ -389,8 +404,33 @@ std::vector<RecordPair> BucketPairs(const RecordTable& records,
 
 }  // namespace
 
+std::vector<std::string> IncrementalIdOverlapIndex::ExtractKeys(
+    const Record& record) {
+  std::vector<std::string> keys;
+  for (const auto& attr : IdentifierAttributes()) {
+    for (auto& value : record.GetMulti(attr)) {
+      keys.push_back(std::move(value));
+    }
+  }
+  return keys;
+}
+
 CandidateDelta IncrementalIdOverlapIndex::AddRecords(const RecordTable& records,
                                                      ThreadPool* pool) {
+  const size_t old_n = num_records_;
+  const size_t new_n = records.size();
+  if (new_n <= old_n) return {};
+  std::vector<std::vector<std::string>> published;
+  published.reserve(new_n - old_n);
+  for (size_t r = old_n; r < new_n; ++r) {
+    published.push_back(ExtractKeys(records.at(static_cast<RecordId>(r))));
+  }
+  return AddPublishedRecords(records, published, pool);
+}
+
+CandidateDelta IncrementalIdOverlapIndex::AddPublishedRecords(
+    const RecordTable& records,
+    const std::vector<std::vector<std::string>>& published, ThreadPool* pool) {
   const size_t old_n = num_records_;
   const size_t new_n = records.size();
   if (new_n <= old_n) return {};
@@ -400,13 +440,10 @@ CandidateDelta IncrementalIdOverlapIndex::AddRecords(const RecordTable& records,
   // pointers key the touched set safely.
   std::unordered_map<const std::vector<RecordId>*, size_t> touched;
   for (size_t r = old_n; r < new_n; ++r) {
-    const Record& rec = records.at(static_cast<RecordId>(r));
-    for (const auto& attr : IdentifierAttributes()) {
-      for (const auto& value : rec.GetMulti(attr)) {
-        std::vector<RecordId>& holders = index_[value];
-        touched.emplace(&holders, holders.size());
-        holders.push_back(static_cast<RecordId>(r));
-      }
+    for (const auto& value : published[r - old_n]) {
+      std::vector<RecordId>& holders = index_[value];
+      touched.emplace(&holders, holders.size());
+      holders.push_back(static_cast<RecordId>(r));
     }
   }
   num_records_ = new_n;

@@ -109,11 +109,20 @@ class Result {
     if (!_st.ok()) return _st;                  \
   } while (0)
 
+#define GRALMATCH_STATUS_CONCAT_IMPL(a, b) a##b
+#define GRALMATCH_STATUS_CONCAT(a, b) GRALMATCH_STATUS_CONCAT_IMPL(a, b)
+
+#define GRALMATCH_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                                    \
+  if (!result.ok()) return result.status();                \
+  lhs = result.MoveValueUnsafe();
+
 /// Assign the value of a Result expression or propagate its error Status.
-#define GRALMATCH_ASSIGN_OR_RETURN(lhs, expr)   \
-  auto _res_##__LINE__ = (expr);                \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = _res_##__LINE__.MoveValueUnsafe();
+/// The temporary's name embeds the line number (with proper two-step
+/// expansion), so several uses can share one scope.
+#define GRALMATCH_ASSIGN_OR_RETURN(lhs, expr) \
+  GRALMATCH_ASSIGN_OR_RETURN_IMPL(            \
+      GRALMATCH_STATUS_CONCAT(_gralmatch_result_, __LINE__), lhs, expr)
 
 }  // namespace gralmatch
 

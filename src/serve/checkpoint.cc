@@ -1,9 +1,7 @@
 #include "serve/checkpoint.h"
 
-#include <cstdio>
-#include <fstream>
-
 #include "common/binary_io.h"
+#include "serve/framing.h"
 
 namespace gralmatch {
 
@@ -13,7 +11,7 @@ constexpr char kMagic[8] = {'G', 'R', 'L', 'M', 'C', 'K', 'P', 'T'};
 
 }  // namespace
 
-std::string SerializeCheckpoint(const IncrementalPipeline& pipeline) {
+Result<std::string> SerializeCheckpoint(const IncrementalPipeline& pipeline) {
   BinaryWriter image;
   image.WriteBytes(kMagic, sizeof(kMagic));
   image.WriteU32(kCheckpointVersion);
@@ -23,7 +21,7 @@ std::string SerializeCheckpoint(const IncrementalPipeline& pipeline) {
   // back-patched once the size is known.
   const size_t body_size_pos = image.size();
   image.WriteU64(0);
-  pipeline.Serialize(&image);
+  GRALMATCH_RETURN_NOT_OK(pipeline.Serialize(&image));
   image.PatchU64(body_size_pos, image.size() - body_size_pos - 8);
   // Trailing checksum over every preceding byte — header included, so a bit
   // flip in the stored fingerprint reads as corruption, not as a
@@ -34,64 +32,22 @@ std::string SerializeCheckpoint(const IncrementalPipeline& pipeline) {
 
 Status SaveCheckpoint(const IncrementalPipeline& pipeline,
                       const std::string& path) {
-  const std::string image = SerializeCheckpoint(pipeline);
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::IOError("cannot open for writing: " + tmp_path);
-    }
-    file.write(image.data(), static_cast<std::streamsize>(image.size()));
-    file.flush();
-    if (!file) return Status::IOError("write failed: " + tmp_path);
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot rename " + tmp_path + " to " + path);
-  }
-  return Status::OK();
+  GRALMATCH_ASSIGN_OR_RETURN(const std::string image,
+                             SerializeCheckpoint(pipeline));
+  return WriteFileAtomically(path, image);
 }
 
 Result<std::unique_ptr<IncrementalPipeline>> ParseCheckpoint(
     const std::string& image, const PairwiseMatcher& matcher,
     size_t num_threads_override) {
   BinaryReader reader(image);
-  for (size_t k = 0; k < sizeof(kMagic); ++k) {
-    uint8_t byte = 0;
-    GRALMATCH_RETURN_NOT_OK(reader.ReadU8(&byte));
-    if (byte != static_cast<uint8_t>(kMagic[k])) {
-      return Status::InvalidArgument(
-          "not a gralmatch checkpoint (bad magic bytes)");
-    }
-  }
-
-  uint32_t version = 0;
-  GRALMATCH_RETURN_NOT_OK(reader.ReadU32(&version));
-  if (version > kCheckpointVersion) {
-    return Status::InvalidArgument(
-        "checkpoint version " + std::to_string(version) +
-        " is newer than this binary's format version " +
-        std::to_string(kCheckpointVersion) + "; refusing to guess its layout");
-  }
-  if (version == 0) {
-    return Status::InvalidArgument("checkpoint version 0 is not valid");
-  }
-
-  // Verify the trailing whole-image checksum before trusting any
-  // variable-length field (after the version check, so files from a newer
-  // layout still get the version diagnosis).
-  if (reader.remaining() < 8) {
-    return Status::IOError("truncated checkpoint: missing checksum");
-  }
-  BinaryReader tail(std::string_view(image).substr(image.size() - 8));
-  uint64_t stored_checksum = 0;
-  GRALMATCH_RETURN_NOT_OK(tail.ReadU64(&stored_checksum));
-  if (stored_checksum !=
-      Fnv1a64(std::string_view(image.data(), image.size() - 8))) {
-    return Status::IOError(
-        "checkpoint corrupted: checksum mismatch (file damaged or partially "
-        "written)");
-  }
+  GRALMATCH_RETURN_NOT_OK(CheckMagicBytes(&reader, kMagic, "checkpoint"));
+  // Version before checksum, so files from a newer layout still get the
+  // version diagnosis; checksum before any variable-length field.
+  GRALMATCH_RETURN_NOT_OK(
+      CheckFormatVersion(&reader, kCheckpointVersion, "checkpoint"));
+  GRALMATCH_ASSIGN_OR_RETURN(const uint64_t stored_checksum,
+                             CheckTrailingChecksum(image, "checkpoint"));
 
   std::string fingerprint;
   GRALMATCH_RETURN_NOT_OK(reader.ReadString(&fingerprint));
@@ -140,16 +96,7 @@ Result<std::unique_ptr<IncrementalPipeline>> ParseCheckpoint(
 Result<std::unique_ptr<IncrementalPipeline>> LoadCheckpoint(
     const std::string& path, const PairwiseMatcher& matcher,
     size_t num_threads_override) {
-  // One read into one buffer: checkpoints scale with the full pipeline
-  // state, so the restore path avoids stream-copy detours.
-  std::ifstream file(path, std::ios::binary | std::ios::ate);
-  if (!file) return Status::IOError("cannot open for reading: " + path);
-  const std::streamoff size = file.tellg();
-  if (size < 0) return Status::IOError("cannot stat: " + path);
-  std::string image(static_cast<size_t>(size), '\0');
-  file.seekg(0);
-  if (size > 0) file.read(&image[0], size);
-  if (!file) return Status::IOError("read failed: " + path);
+  GRALMATCH_ASSIGN_OR_RETURN(const std::string image, ReadWholeFile(path));
   return ParseCheckpoint(image, matcher, num_threads_override);
 }
 

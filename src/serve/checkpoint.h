@@ -42,8 +42,9 @@ namespace gralmatch {
 constexpr uint32_t kCheckpointVersion = 1;
 
 /// Serialize `pipeline` into an in-memory checkpoint image (magic, version,
-/// fingerprint header, body, checksum).
-std::string SerializeCheckpoint(const IncrementalPipeline& pipeline);
+/// fingerprint header, body, checksum). Fails on a poisoned pipeline — an
+/// aborted ingest's inconsistent state must never become a checkpoint.
+Result<std::string> SerializeCheckpoint(const IncrementalPipeline& pipeline);
 
 /// Write a checkpoint of `pipeline` to `path` (atomically: a temp file next
 /// to `path` is renamed over it, so a crash mid-write never leaves a torn

@@ -1,0 +1,86 @@
+#include "serve/framing.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+#include "common/binary_io.h"
+
+namespace gralmatch {
+
+Status WriteFileAtomically(const std::string& path, const std::string& image) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return Status::IOError("cannot open for writing: " + tmp_path);
+    }
+    file.write(image.data(), static_cast<std::streamsize>(image.size()));
+    file.flush();
+    if (!file) return Status::IOError("write failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::IOError("cannot open for reading: " + path);
+  const std::streamoff size = file.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  std::string image(static_cast<size_t>(size), '\0');
+  file.seekg(0);
+  if (size > 0) file.read(&image[0], size);
+  if (!file) return Status::IOError("read failed: " + path);
+  return image;
+}
+
+Status CheckMagicBytes(BinaryReader* reader, const char (&magic)[8],
+                       const std::string& what) {
+  for (size_t k = 0; k < sizeof(magic); ++k) {
+    uint8_t byte = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU8(&byte));
+    if (byte != static_cast<uint8_t>(magic[k])) {
+      return Status::InvalidArgument("not a gralmatch " + what +
+                                     " (bad magic bytes)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckFormatVersion(BinaryReader* reader, uint32_t current_version,
+                          const std::string& what) {
+  uint32_t version = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&version));
+  if (version > current_version) {
+    return Status::InvalidArgument(
+        what + " version " + std::to_string(version) +
+        " is newer than this binary's format version " +
+        std::to_string(current_version) + "; refusing to guess its layout");
+  }
+  if (version == 0) {
+    return Status::InvalidArgument(what + " version 0 is not valid");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> CheckTrailingChecksum(const std::string& image,
+                                       const std::string& what) {
+  if (image.size() < 8) {
+    return Status::IOError("truncated " + what + ": missing checksum");
+  }
+  BinaryReader tail(std::string_view(image).substr(image.size() - 8));
+  uint64_t stored = 0;
+  GRALMATCH_RETURN_NOT_OK(tail.ReadU64(&stored));
+  if (stored != Fnv1a64(std::string_view(image.data(), image.size() - 8))) {
+    return Status::IOError(what +
+                           " corrupted: checksum mismatch (file damaged or "
+                           "partially written)");
+  }
+  return stored;
+}
+
+}  // namespace gralmatch

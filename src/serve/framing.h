@@ -1,0 +1,48 @@
+#ifndef GRALMATCH_SERVE_FRAMING_H_
+#define GRALMATCH_SERVE_FRAMING_H_
+
+/// \file framing.h
+/// Shared framing primitives for the durable checkpoint formats — the
+/// single-file pipeline checkpoint (checkpoint.h) and the sharded
+/// manifest + per-shard-file checkpoint (sharded_checkpoint.h) frame their
+/// images the same way (8-byte magic, u32 version, length-prefixed body,
+/// trailing whole-image FNV-1a 64 checksum) and persist them with the same
+/// atomic temp-file + rename discipline. One implementation here keeps the
+/// two durability paths from drifting.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace gralmatch {
+
+class BinaryReader;
+
+/// Write `image` to `path` atomically: a temp file next to `path` is
+/// renamed over it, so a crash mid-write never leaves a torn file under
+/// the final name.
+Status WriteFileAtomically(const std::string& path, const std::string& image);
+
+/// Read the complete file into one buffer (checkpoints scale with the full
+/// pipeline state, so the restore path avoids stream-copy detours).
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// Consume and verify an 8-byte magic; `what` names the format in the
+/// error ("not a gralmatch <what> (bad magic bytes)").
+Status CheckMagicBytes(BinaryReader* reader, const char (&magic)[8],
+                       const std::string& what);
+
+/// Consume and verify a u32 format version: versions newer than
+/// `current_version` are rejected, not misread, and version 0 is invalid.
+Status CheckFormatVersion(BinaryReader* reader, uint32_t current_version,
+                          const std::string& what);
+
+/// Verify the trailing whole-image checksum (the last 8 bytes against the
+/// FNV-1a 64 of everything before them), returning its value.
+Result<uint64_t> CheckTrailingChecksum(const std::string& image,
+                                       const std::string& what);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_SERVE_FRAMING_H_

@@ -1,0 +1,45 @@
+#include "shard/candidate_exchange.h"
+
+#include <utility>
+
+#include "exec/thread_pool.h"
+
+namespace gralmatch {
+
+CandidateExchange::Deltas CandidateExchange::Exchange(
+    const RecordTable& records, std::vector<RecordKeys> published,
+    ThreadPool* pool) {
+  Deltas deltas;
+  if (use_id_) {
+    std::vector<std::vector<std::string>> id_keys;
+    id_keys.reserve(published.size());
+    for (RecordKeys& keys : published) {
+      id_keys.push_back(std::move(keys.id_keys));
+    }
+    deltas.id = id_index_.AddPublishedRecords(records, id_keys, pool);
+  }
+  if (use_token_) {
+    std::vector<std::vector<std::string>> token_keys;
+    token_keys.reserve(published.size());
+    for (RecordKeys& keys : published) {
+      token_keys.push_back(std::move(keys.token_keys));
+    }
+    deltas.token =
+        token_index_.AddPublishedRecords(records, std::move(token_keys), pool);
+  }
+  return deltas;
+}
+
+void CandidateExchange::RebuildFromRecords(const RecordTable& records,
+                                           ThreadPool* pool) {
+  if (use_id_) {
+    id_index_ = IncrementalIdOverlapIndex();
+    (void)id_index_.AddRecords(records, pool);
+  }
+  if (use_token_) {
+    token_index_ = IncrementalTokenOverlapIndex(token_options_);
+    (void)token_index_.AddRecords(records, pool);
+  }
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,145 @@
+#include "shard/shard_state.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace gralmatch {
+
+void ShardState::Save(
+    const RecordTable& records,
+    const std::vector<std::pair<int32_t, const GroupStore::ComponentState*>>&
+        owned_components,
+    BinaryWriter* writer) const {
+  // Owned records with their global ids: the union of every shard's list
+  // reassembles the record table, id-complete and in order.
+  writer->WriteU64(owned.size());
+  for (const RecordId id : owned) {
+    const Record& rec = records.at(id);
+    writer->WriteI32(id);
+    writer->WriteI32(rec.source());
+    writer->WriteU8(static_cast<uint8_t>(rec.kind()));
+    writer->WriteU64(rec.attributes().size());
+    for (const auto& [name, value] : rec.attributes()) {
+      writer->WriteString(name);
+      writer->WriteString(value);
+    }
+  }
+
+  std::vector<std::pair<RecordPair, double>> scores(score_cache.begin(),
+                                                    score_cache.end());
+  std::sort(scores.begin(), scores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer->WriteU64(scores.size());
+  for (const auto& [pair, score] : scores) {
+    writer->WriteI32(pair.a);
+    writer->WriteI32(pair.b);
+    writer->WriteDouble(score);
+  }
+
+  std::vector<RecordPair> sorted_positives(positives.begin(), positives.end());
+  std::sort(sorted_positives.begin(), sorted_positives.end());
+  WriteRecordPairs(sorted_positives, writer);
+
+  writer->WriteU64(matcher_calls);
+  writer->WriteU64(cache_hits);
+
+  // Components in sorted id order (the caller passes them presorted or not;
+  // sort here so the bytes never depend on map iteration order).
+  std::vector<std::pair<int32_t, const GroupStore::ComponentState*>> comps =
+      owned_components;
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer->WriteU64(comps.size());
+  for (const auto& [cid, comp] : comps) {
+    writer->WriteI32(cid);
+    WriteComponentState(*comp, writer);
+  }
+}
+
+Result<ShardCheckpointPart> ShardCheckpointPart::Parse(BinaryReader* reader,
+                                                       size_t num_records) {
+  ShardCheckpointPart part;
+
+  uint64_t count = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(17, &count));
+  part.records.reserve(static_cast<size_t>(count));
+  RecordId prev_id = -1;
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordId id = -1;
+    int32_t source = 0;
+    uint8_t kind = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&id));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&source));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadU8(&kind));
+    if (id < 0 || static_cast<size_t>(id) >= num_records) {
+      return Status::IOError(
+          "corrupted shard checkpoint: record id out of range");
+    }
+    if (id <= prev_id) {
+      return Status::IOError(
+          "corrupted shard checkpoint: record ids not strictly ascending");
+    }
+    prev_id = id;
+    if (kind > static_cast<uint8_t>(RecordKind::kProduct)) {
+      return Status::IOError(
+          "corrupted shard checkpoint: unknown record kind " +
+          std::to_string(kind));
+    }
+    Record rec(static_cast<SourceId>(source), static_cast<RecordKind>(kind));
+    uint64_t num_attrs = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(16, &num_attrs));
+    for (uint64_t a = 0; a < num_attrs; ++a) {
+      std::string name, value;
+      GRALMATCH_RETURN_NOT_OK(reader->ReadString(&name));
+      GRALMATCH_RETURN_NOT_OK(reader->ReadString(&value));
+      rec.Set(name, value);
+    }
+    part.records.emplace_back(id, std::move(rec));
+  }
+
+  auto check_pair = [num_records](const RecordPair& pair) {
+    if (pair.a < 0 || pair.b < 0 ||
+        static_cast<size_t>(pair.a) >= num_records ||
+        static_cast<size_t>(pair.b) >= num_records) {
+      return Status::IOError(
+          "corrupted shard checkpoint: record pair out of range");
+    }
+    return Status::OK();
+  };
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(16, &count));
+  part.score_cache.reserve(static_cast<size_t>(count));
+  for (uint64_t k = 0; k < count; ++k) {
+    RecordPair pair;
+    double score = 0.0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.a));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&pair.b));
+    GRALMATCH_RETURN_NOT_OK(reader->ReadDouble(&score));
+    GRALMATCH_RETURN_NOT_OK(check_pair(pair));
+    part.score_cache[pair] = score;
+  }
+
+  GRALMATCH_RETURN_NOT_OK(ReadRecordPairs(reader, num_records, &part.positives));
+
+  uint64_t u = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  part.matcher_calls = static_cast<size_t>(u);
+  GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
+  part.cache_hits = static_cast<size_t>(u);
+
+  uint64_t num_comps = 0;
+  GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &num_comps));
+  part.components.reserve(static_cast<size_t>(num_comps));
+  for (uint64_t k = 0; k < num_comps; ++k) {
+    int32_t cid = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&cid));
+    GroupStore::ComponentState comp;
+    GRALMATCH_RETURN_NOT_OK(ReadComponentState(reader, num_records, &comp));
+    part.components.emplace_back(cid, std::move(comp));
+  }
+  return part;
+}
+
+}  // namespace gralmatch

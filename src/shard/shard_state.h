@@ -1,0 +1,78 @@
+#ifndef GRALMATCH_SHARD_SHARD_STATE_H_
+#define GRALMATCH_SHARD_SHARD_STATE_H_
+
+/// \file shard_state.h
+/// The shard-local slice of a ShardedPipeline: which records the router
+/// assigned to the shard, and the scoring state of the pairs the shard
+/// *owns*. Pair ownership is deterministic — a pair belongs to the shard of
+/// its smaller record id — so every pair has exactly one score cache
+/// responsible for it and the union of all shard caches reproduces the
+/// single pipeline's cache key-for-key (the heart of the shard-count
+/// invariance proof in sharded_pipeline.h).
+///
+/// This is the IncrementalPipeline's per-pair state factored into a
+/// partitionable value type; the global state (records, blocking indexes,
+/// component store) stays in the coordinating pipeline.
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "data/ground_truth.h"
+#include "data/record.h"
+#include "stream/group_store.h"
+
+namespace gralmatch {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// \brief One shard's records and pair-scoring state.
+struct ShardState {
+  /// Global ids of the records routed to this shard, ascending (appended in
+  /// ingest order, and ids are assigned in ingest order).
+  std::vector<RecordId> owned;
+  /// Score cache for the pairs this shard owns, under the pipeline's
+  /// current matcher fingerprint.
+  std::unordered_map<RecordPair, double, RecordPairHash> score_cache;
+  /// Owned pairs currently at or above the match threshold.
+  std::unordered_set<RecordPair, RecordPairHash> positives;
+  /// Cumulative matcher invocations / cache hits attributed to this shard.
+  size_t matcher_calls = 0;
+  size_t cache_hits = 0;
+
+  /// Serialize this shard's slice — owned records (with global ids and full
+  /// payloads, so the union of all shard files reassembles the record
+  /// table), score cache, positives, counters, and the components whose
+  /// smallest node this shard owns (`owned_components`, from the global
+  /// GroupStore). Map-backed state is written sorted, so equal slices
+  /// serialize to equal bytes.
+  void Save(const RecordTable& records,
+            const std::vector<std::pair<int32_t, const GroupStore::ComponentState*>>&
+                owned_components,
+            BinaryWriter* writer) const;
+};
+
+/// Parsed form of ShardState::Save output; the coordinating pipeline merges
+/// the parts of every shard back into global state.
+struct ShardCheckpointPart {
+  /// (global id, payload), ascending by id.
+  std::vector<std::pair<RecordId, Record>> records;
+  std::unordered_map<RecordPair, double, RecordPairHash> score_cache;
+  std::vector<RecordPair> positives;
+  size_t matcher_calls = 0;
+  size_t cache_hits = 0;
+  std::vector<std::pair<int32_t, GroupStore::ComponentState>> components;
+
+  /// Read one shard body. `num_records` bounds every record id and pair;
+  /// ids must be strictly ascending within the shard. Structural validation
+  /// only — cross-shard invariants are the pipeline's job.
+  static Result<ShardCheckpointPart> Parse(BinaryReader* reader,
+                                           size_t num_records);
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_SHARD_SHARD_STATE_H_

@@ -1,0 +1,189 @@
+#ifndef GRALMATCH_SHARD_SHARDED_PIPELINE_H_
+#define GRALMATCH_SHARD_SHARDED_PIPELINE_H_
+
+/// \file sharded_pipeline.h
+/// Partitioned incremental matching: the record space is split across S
+/// shard-local states so ingest scales beyond one pipeline's memory and
+/// lock domain, while the result stays *exactly* the single pipeline's.
+///
+/// Each Ingest round runs four phases:
+///
+///  1. Route: a deterministic content-hash ShardRouter assigns every new
+///     record to a shard (shard_router.h). Pair ownership follows record
+///     ownership: a pair belongs to the shard of its smaller record id.
+///  2. Exchange: shards publish their new records' blocking keys
+///     (identifier values, content tokens) and the CandidateExchange folds
+///     every publication into global incremental indexes, producing the
+///     exact candidate-pair delta — including pairs and retractions that
+///     span shards (candidate_exchange.h).
+///  3. Score: each shard scores the delta pairs it owns that miss its
+///     shard-local cache, all shards concurrently on one ThreadPool (the
+///     flattened task list keeps per-shard slices contiguous).
+///  4. Merge: every shard's positive-edge transitions are merged and
+///     union-found into *global* components — cross-shard edges join
+///     components living on different shards — and the shared
+///     dirty-component cleanup (stream/group_store.h) re-cleans exactly the
+///     touched region.
+///
+/// Shard-count invariance contract (enforced by tests/shard_test.cc):
+/// Snapshot() at any shard count S and any thread count is identical —
+/// predicted pairs, pre-cleanup components, groups, and all cleanup
+/// counters — to the S=1 result, to IncrementalPipeline on the same ingest
+/// sequence, and to a from-scratch EntityGroupPipeline::Run on the union of
+/// all batches. The argument: the exchange reproduces the global candidate
+/// set exactly; a pair's owner shard is stable, so the union of shard
+/// caches equals the single cache key-for-key (each pair scored at most
+/// once per fingerprint, pipeline-wide); the positive set is the same
+/// threshold test on the same scores; and the merge feeds the identical
+/// transition stream to the identical GroupStore machinery.
+///
+/// Checkpoints are partitioned the same way the state is: one framed file
+/// per shard plus a manifest (serve/sharded_checkpoint.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "matching/matcher.h"
+#include "shard/candidate_exchange.h"
+#include "shard/shard_router.h"
+#include "shard/shard_state.h"
+#include "stream/group_store.h"
+#include "stream/incremental_pipeline.h"
+
+namespace gralmatch {
+
+class BinaryReader;
+class BinaryWriter;
+class ThreadPool;
+
+/// Parameters of the sharded pipeline: the incremental pipeline's config
+/// plus the partitioning.
+struct ShardedPipelineConfig {
+  /// Blocking/threshold/cleanup/num_threads semantics are exactly the
+  /// incremental pipeline's; num_threads sizes the one pool all shards
+  /// share.
+  IncrementalPipelineConfig base;
+  /// Number of shard-local states (clamped to at least 1).
+  size_t num_shards = 1;
+  /// Router seed: changes the partition, never the result.
+  uint64_t router_seed = 0;
+};
+
+/// \brief Sharded incremental entity-group matching pipeline.
+class ShardedPipeline {
+ public:
+  explicit ShardedPipeline(ShardedPipelineConfig config);
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Route, exchange, score and merge one batch; see file comment. The
+  /// returned report is identical to the one IncrementalPipeline would
+  /// return for the same ingest sequence (same scoring and cache-hit
+  /// counts, same dirty-component scoping — only wall-clock differs).
+  /// Same fail-fast contract as IncrementalPipeline::Ingest: a matcher
+  /// throw poisons the pipeline and every later call returns a clean error.
+  Result<IngestReport> Ingest(const std::vector<Record>& batch,
+                              const PairwiseMatcher& matcher);
+
+  /// Current result; see the shard-count invariance contract above.
+  Result<PipelineResult> Snapshot() const;
+
+  /// OK, or the poison error describing why the pipeline must be discarded.
+  Status status() const;
+
+  /// All ingested records in ingest order, ids assigned contiguously
+  /// (global ids — shard membership never renumbers a record).
+  const RecordTable& records() const { return records_; }
+
+  const ShardedPipelineConfig& config() const { return config_; }
+  const ShardRouter& router() const { return router_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Records currently owned by `shard`.
+  size_t ShardRecordCount(size_t shard) const {
+    return shards_[shard].owned.size();
+  }
+
+  /// Fingerprint of the matcher used by the last Ingest ("" before the
+  /// first); the manifest checkpoint stores it like the single-pipeline
+  /// checkpoint does.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+  /// Cumulative matcher invocations / cache hits, summed over shards.
+  size_t total_matcher_calls() const;
+  size_t total_cache_hits() const;
+
+  // -- Checkpoint bodies ----------------------------------------------------
+  // Framing (magic, version, per-file checksums, the manifest's per-shard
+  // checksum list) is serve/sharded_checkpoint.h's job.
+
+  /// Global coordinator state: config (shard count and router seed
+  /// included), fingerprint, record count, component-id high-water mark and
+  /// cumulative wall-clock totals. Everything else lives in shard bodies.
+  Status SerializeManifestBody(BinaryWriter* writer) const;
+
+  /// Every shard's slice, one writer per shard (`writers` is resized to
+  /// num_shards()): its records (with global ids), score cache, positives,
+  /// counters, and the components whose smallest node it owns. All slices
+  /// serialize in one call so the component store is bucketed by owner
+  /// shard in a single pass instead of scanned once per shard.
+  Status SerializeShardBodies(std::vector<BinaryWriter>* writers) const;
+
+  /// Reassemble a pipeline from a manifest body and all S shard bodies (in
+  /// shard order). The global blocking indexes are rebuilt from the
+  /// reassembled record table — index state is a pure function of the
+  /// record set, so the rebuilt exchange produces exactly the deltas the
+  /// saved one would — and every cross-shard invariant is re-validated:
+  /// record ids must cover [0, n) exactly, each record must route to the
+  /// shard that stored it, every candidate must be scored in its owner
+  /// shard's cache, positives must be owned candidates, components must
+  /// partition consistently. Any violation is a clean error.
+  static Result<std::unique_ptr<ShardedPipeline>> DeserializeFromParts(
+      BinaryReader* manifest_body, std::vector<BinaryReader>* shard_bodies,
+      size_t num_threads_override = 0);
+
+ private:
+  IngestReport IngestImpl(const std::vector<Record>& batch,
+                          const PairwiseMatcher& matcher);
+
+  Status PoisonError() const;
+
+  /// Owner shard of a pair: the shard of its smaller record id.
+  size_t OwnerOf(const RecordPair& pair) const {
+    return shard_of_record_[static_cast<size_t>(pair.a)];
+  }
+
+  ShardedPipelineConfig config_;
+  ShardRouter router_;
+  std::unique_ptr<ThreadPool> pool_;
+  RecordTable records_;
+  /// Shard per record id (parallel to records_).
+  std::vector<uint32_t> shard_of_record_;
+  std::vector<ShardState> shards_;
+  CandidateExchange exchange_;
+
+  /// Current candidate pairs -> blocker provenance bits (global: the
+  /// cleanup needs provenance for pairs of any shard).
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> candidate_prov_;
+  std::string fingerprint_;
+
+  /// Global components (cross-shard edges merge shard-disjoint node sets).
+  GroupStore store_;
+
+  bool poisoned_ = false;
+  std::string poison_reason_;
+
+  double scoring_seconds_total_ = 0.0;
+  double cleanup_seconds_total_ = 0.0;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_SHARD_SHARDED_PIPELINE_H_

@@ -16,10 +16,10 @@
 ///     fingerprint only: a fingerprint change clears it, so alternating
 ///     between matchers rescores on every swap.
 ///  3. Cleanup: new positive edges are unioned into the maintained
-///     component structure and the Pre + GraLMatch Graph Cleanup reruns
-///     only on *dirty* components (those that gained or lost a node, an
-///     edge, or a provenance bit); untouched groups are spliced through
-///     unchanged with their cached cleanup counters.
+///     component structure (stream/group_store.h) and the Pre + GraLMatch
+///     Graph Cleanup reruns only on *dirty* components (those that gained
+///     or lost a node, an edge, or a provenance bit); untouched groups are
+///     spliced through unchanged with their cached cleanup counters.
 ///
 /// Batch-equivalence contract (enforced by tests/stream_test.cc): after any
 /// sequence of ingests, Snapshot() — groups, predicted pairs, pre-cleanup
@@ -39,6 +39,7 @@
 #include "core/pipeline.h"
 #include "data/record.h"
 #include "matching/matcher.h"
+#include "stream/group_store.h"
 
 namespace gralmatch {
 
@@ -95,18 +96,25 @@ class IncrementalPipeline {
   /// rescored and every component re-cleaned. An empty batch is permitted
   /// (useful to swap matchers without new data).
   ///
-  /// Not exception-safe: a matcher that throws out of MatchProbability
+  /// Fail-fast on a throwing matcher: an exception out of MatchProbability
   /// aborts the ingest with records and blocking indexes already updated
-  /// but scores/groups not, leaving the pipeline in an unspecified state.
-  /// Discard the pipeline in that case — re-Ingesting the same batch would
-  /// append its records a second time.
-  IngestReport Ingest(const std::vector<Record>& batch,
-                      const PairwiseMatcher& matcher);
+  /// but scores/groups not. The exception is swallowed, the pipeline is
+  /// marked *poisoned*, and an Internal error is returned; every subsequent
+  /// Ingest/Snapshot/Serialize returns the same clean error instead of
+  /// computing on inconsistent state. Discard a poisoned pipeline (or
+  /// restore from a checkpoint) — re-Ingesting the same batch would append
+  /// its records a second time.
+  Result<IngestReport> Ingest(const std::vector<Record>& batch,
+                              const PairwiseMatcher& matcher);
 
   /// Current result, identical to a from-scratch EntityGroupPipeline::Run
   /// on the union of all ingested batches (see file comment). Wall-clock
-  /// fields report times accumulated across all ingests.
-  PipelineResult Snapshot() const;
+  /// fields report times accumulated across all ingests. Returns the poison
+  /// error after an aborted ingest.
+  Result<PipelineResult> Snapshot() const;
+
+  /// OK, or the poison error describing why the pipeline must be discarded.
+  Status status() const;
 
   /// All ingested records, in ingest order (ids are assigned contiguously).
   const RecordTable& records() const { return records_; }
@@ -129,8 +137,10 @@ class IncrementalPipeline {
   /// further Ingest() calls behave exactly as they would have on this
   /// instance. Map-backed state is written in sorted key order, so equal
   /// logical states serialize to equal bytes. Framing (magic, version,
-  /// checksum) is the caller's job; see serve/checkpoint.h.
-  void Serialize(BinaryWriter* writer) const;
+  /// checksum) is the caller's job; see serve/checkpoint.h. Returns the
+  /// poison error after an aborted ingest (a poisoned state must never
+  /// become a checkpoint).
+  Status Serialize(BinaryWriter* writer) const;
 
   /// Rebuild a pipeline from Serialize() output. `num_threads_override`
   /// replaces the serialized thread count when nonzero (thread count never
@@ -140,21 +150,11 @@ class IncrementalPipeline {
       BinaryReader* reader, size_t num_threads_override = 0);
 
  private:
-  /// One connected component of the pristine (pre-cleanup) positive-edge
-  /// graph, with its cached cleanup outcome.
-  struct ComponentState {
-    std::vector<NodeId> nodes;       ///< sorted ascending
-    std::vector<RecordPair> pairs;   ///< positive pairs inside, sorted
-    std::vector<std::vector<NodeId>> groups;  ///< cleaned groups, global ids
-    CleanupStats stats;              ///< counters only (seconds stays 0)
-  };
+  /// The whole ingest path; Ingest wraps it with the poison fail-fast.
+  IngestReport IngestImpl(const std::vector<Record>& batch,
+                          const PairwiseMatcher& matcher);
 
-  /// Re-run Pre Graph Cleanup + Algorithm 1 on one pristine component. The
-  /// component subgraph is rebuilt with nodes compact-remapped in sorted
-  /// order and edges inserted in sorted pair order — exactly the edge-id
-  /// order a from-scratch run on the union would assign — so every
-  /// tie-break matches the batch pipeline bit for bit.
-  void RebuildComponent(ComponentState* comp);
+  Status PoisonError() const;
 
   IncrementalPipelineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
@@ -171,10 +171,14 @@ class IncrementalPipeline {
   /// Candidate pairs currently at or above the match threshold.
   std::unordered_set<RecordPair, RecordPairHash> positives_;
 
-  /// Component id per record (-1: singleton, not in any positive pair).
-  std::vector<int32_t> comp_of_node_;
-  std::unordered_map<int32_t, ComponentState> comps_;
-  int32_t next_comp_id_ = 0;
+  /// Component structure with cached per-component cleanup outcomes.
+  GroupStore store_;
+
+  /// Set when an ingest aborted mid-way (throwing matcher): records and
+  /// blocking indexes were updated but scores/groups were not, so every
+  /// state-observing operation refuses with a clean error.
+  bool poisoned_ = false;
+  std::string poison_reason_;
 
   size_t total_matcher_calls_ = 0;
   size_t total_cache_hits_ = 0;

@@ -232,5 +232,92 @@ TEST(CliTest, ParsesFlagStyles) {
   EXPECT_EQ(flags.positional()[0], "positional");
 }
 
+TEST(CliTest, DuplicateFlagKeepsLastValue) {
+  // Standard CLI last-wins semantics, pinned for every flag style mix.
+  const char* argv[] = {"prog", "--seed=1", "--seed", "2", "--seed=3"};
+  CliFlags flags = CliFlags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("seed", 0), 3);
+  EXPECT_EQ(flags.GetString("seed", ""), "3");
+}
+
+TEST(CliTest, ValuelessFlagFallsBackForNumericGetters) {
+  // `--verbose` with no value parses as "" — numeric getters treat that as
+  // absent rather than as a malformed number.
+  const char* argv[] = {"prog", "--verbose"};
+  CliFlags flags = CliFlags::Parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetInt("verbose", 4), 4);
+  EXPECT_EQ(flags.GetDouble("verbose", 0.5), 0.5);
+}
+
+TEST(ParseInt64Test, AcceptsWholeStringIntegers) {
+  EXPECT_EQ(ParseInt64("0").ValueOrDie(), 0);
+  EXPECT_EQ(ParseInt64("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt64("+42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("9223372036854775807").ValueOrDie(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").ValueOrDie(), INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsTrailingGarbageAndNonNumbers) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("5x").ok());
+  EXPECT_FALSE(ParseInt64("5 ").ok());
+  EXPECT_FALSE(ParseInt64(" 5").ok());  // no whitespace tolerance either side
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("--3").ok());
+}
+
+TEST(ParseInt64Test, RejectsOutOfRangeInsteadOfClamping) {
+  Result<int64_t> over = ParseInt64("9223372036854775808");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("123456789012345678901234567890").ok());
+}
+
+TEST(ParseDoubleTest, AcceptsWholeStringNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").ValueOrDie(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3e2").ValueOrDie(), -300.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").ValueOrDie(), 7.0);
+  // Underflow keeps its sign and rounds toward zero; it is not an error.
+  EXPECT_TRUE(ParseDouble("1e-400").ok());
+}
+
+TEST(ParseDoubleTest, RejectsTrailingGarbageAndOverflow) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("0.5x").ok());
+  EXPECT_FALSE(ParseDouble("0.5 ").ok());
+  EXPECT_FALSE(ParseDouble("1..5").ok());
+  Result<double> over = ParseDouble("1e999");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, MalformedIntFlagDiesWithDiagnostic) {
+  const char* argv[] = {"prog", "--seed=5x"};
+  CliFlags flags = CliFlags::Parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("seed", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --seed");
+}
+
+TEST(CliDeathTest, OutOfRangeIntFlagDiesWithDiagnostic) {
+  const char* argv[] = {"prog", "--seed=9223372036854775808"};
+  CliFlags flags = CliFlags::Parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("seed", 0), ::testing::ExitedWithCode(2),
+              "outside the int64 range");
+}
+
+TEST(CliDeathTest, MalformedDoubleFlagDiesWithDiagnostic) {
+  const char* argv[] = {"prog", "--threshold", "0.5abc"};
+  CliFlags flags = CliFlags::Parse(3, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetDouble("threshold", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --threshold");
+}
+
 }  // namespace
 }  // namespace gralmatch

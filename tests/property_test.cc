@@ -11,6 +11,7 @@
 
 #include "blocking/id_overlap.h"
 #include "blocking/issuer_match.h"
+#include "common/union_find.h"
 #include "blocking/token_overlap.h"
 #include "core/cleanup.h"
 #include "core/embeddedness.h"
@@ -547,6 +548,118 @@ TEST_P(MetricsPropertyTest, PrCurveIsMonotoneInPredictions) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
                          ::testing::Values(11u, 222u, 3333u, 44444u));
+
+// ---------------------------------------------------------------------------
+// Union-find merge semantics. The sharded pipeline's cross-shard merge
+// (stream/group_store.h) unions per-shard positive edges into global
+// components; these properties — idempotent unions, representative
+// stability under interleaved finds, agreement with a reference partition —
+// are exactly what that merge step relies on.
+// ---------------------------------------------------------------------------
+
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindPropertyTest, MatchesReferencePartitionUnderRandomUnions) {
+  Rng rng(GetParam());
+  const size_t n = 40 + rng.Uniform(120);
+  UnionFind uf(n);
+  // Reference: brute-force component labels, relabelled on every merge.
+  std::vector<size_t> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = i;
+
+  const size_t ops = 3 * n;
+  for (size_t k = 0; k < ops; ++k) {
+    const size_t a = rng.Uniform(n);
+    const size_t b = rng.Uniform(n);
+    const bool merged = uf.Union(a, b);
+    EXPECT_EQ(merged, label[a] != label[b]);
+    if (label[a] != label[b]) {
+      const size_t from = label[b], to = label[a];
+      for (size_t i = 0; i < n; ++i) {
+        if (label[i] == from) label[i] = to;
+      }
+    }
+    // Interleaved finds (which path-halve internally) must agree with the
+    // reference connectivity at every step.
+    const size_t c = rng.Uniform(n);
+    const size_t d = rng.Uniform(n);
+    EXPECT_EQ(uf.Connected(c, d), label[c] == label[d]);
+  }
+
+  // Final partition agrees element-for-element.
+  std::set<size_t> labels(label.begin(), label.end());
+  EXPECT_EQ(uf.num_sets(), labels.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < i + 5 && j < n; ++j) {
+      EXPECT_EQ(uf.Connected(i, j), label[i] == label[j]);
+    }
+    // Set sizes match the reference counts.
+    size_t count = 0;
+    for (size_t j = 0; j < n; ++j) count += label[j] == label[i] ? 1 : 0;
+    EXPECT_EQ(uf.SetSize(i), count);
+  }
+}
+
+TEST_P(UnionFindPropertyTest, UnionsAreIdempotentAndFindsAreStable) {
+  Rng rng(GetParam() ^ 0x5eedu);
+  const size_t n = 30 + rng.Uniform(70);
+  UnionFind uf(n);
+  for (size_t k = 0; k < 2 * n; ++k) {
+    uf.Union(rng.Uniform(n), rng.Uniform(n));
+  }
+  const size_t sets_before = uf.num_sets();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rep = uf.Find(i);
+    // A representative is its own representative (canonical fixed point),
+    // and repeated finds never change it.
+    EXPECT_EQ(uf.Find(rep), rep);
+    EXPECT_EQ(uf.Find(i), rep);
+    // Re-unioning already-joined elements is a no-op on the partition and
+    // on every representative.
+    EXPECT_FALSE(uf.Union(i, rep));
+    EXPECT_EQ(uf.Find(i), rep);
+    EXPECT_EQ(uf.num_sets(), sets_before);
+  }
+  // Merge order never affects the partition: replay the same edges in
+  // reverse into a fresh structure and compare connectivity.
+  std::vector<std::pair<size_t, size_t>> edges;
+  Rng replay(GetParam() ^ 0x5eedu);
+  const size_t m = 30 + replay.Uniform(70);
+  ASSERT_EQ(m, n);
+  for (size_t k = 0; k < 2 * n; ++k) {
+    const size_t a = replay.Uniform(n);
+    const size_t b = replay.Uniform(n);
+    edges.emplace_back(a, b);
+  }
+  UnionFind reversed(n);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    reversed.Union(it->first, it->second);
+  }
+  EXPECT_EQ(reversed.num_sets(), uf.num_sets());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < i + 6 && j < n; ++j) {
+      EXPECT_EQ(reversed.Connected(i, j), uf.Connected(i, j));
+    }
+  }
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  uf.Reset(4);
+  EXPECT_EQ(uf.size(), 4u);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(5u, 77u, 901u, 12345u));
 
 }  // namespace
 }  // namespace gralmatch

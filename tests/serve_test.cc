@@ -122,7 +122,7 @@ void IngestAll(IncrementalPipeline* pipeline, const std::vector<Record>& records
     const size_t stop = std::min(offset + batch_size, end);
     std::vector<Record> batch(records.begin() + static_cast<long>(offset),
                               records.begin() + static_cast<long>(stop));
-    pipeline->Ingest(batch, matcher);
+    ASSERT_TRUE(pipeline->Ingest(batch, matcher).ok());
   }
 }
 
@@ -213,10 +213,10 @@ TEST(CheckpointTest, RoundTripIsBitwiseIdenticalOnFinancialFixture) {
   // Mid-stream and end-of-stream checkpoints both round-trip exactly.
   IngestAll(&pipeline, records, 0, records.size() / 2, 3, matcher);
   for (int phase = 0; phase < 2; ++phase) {
-    const std::string image = SerializeCheckpoint(pipeline);
+    const std::string image = SerializeCheckpoint(pipeline).ValueOrDie();
     auto restored = ParseCheckpoint(image, matcher);
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-    ExpectBitwiseIdentical((*restored)->Snapshot(), pipeline.Snapshot(),
+    ExpectBitwiseIdentical((*restored)->Snapshot().ValueOrDie(), pipeline.Snapshot().ValueOrDie(),
                            "phase " + std::to_string(phase));
     EXPECT_EQ((*restored)->records().size(), pipeline.records().size());
     EXPECT_EQ((*restored)->total_matcher_calls(),
@@ -237,9 +237,9 @@ TEST(CheckpointTest, RoundTripIsBitwiseIdenticalOnWdcFixture) {
   config.pipeline.match_threshold = 0.35;
   IncrementalPipeline pipeline(config);
   IngestAll(&pipeline, records, 0, records.size(), 5, matcher);
-  auto restored = ParseCheckpoint(SerializeCheckpoint(pipeline), matcher);
+  auto restored = ParseCheckpoint(SerializeCheckpoint(pipeline).ValueOrDie(), matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-  ExpectBitwiseIdentical((*restored)->Snapshot(), pipeline.Snapshot(), "wdc");
+  ExpectBitwiseIdentical((*restored)->Snapshot().ValueOrDie(), pipeline.Snapshot().ValueOrDie(), "wdc");
 }
 
 TEST(CheckpointTest, SerializationIsDeterministic) {
@@ -247,14 +247,14 @@ TEST(CheckpointTest, SerializationIsDeterministic) {
   JaccardMatcher matcher;
   IncrementalPipeline pipeline(ServeConfig(4));
   IngestAll(&pipeline, records, 0, records.size(), 4, matcher);
-  const std::string image = SerializeCheckpoint(pipeline);
+  const std::string image = SerializeCheckpoint(pipeline).ValueOrDie();
   // Same pipeline, same bytes.
-  EXPECT_EQ(SerializeCheckpoint(pipeline), image);
+  EXPECT_EQ(SerializeCheckpoint(pipeline).ValueOrDie(), image);
   // Save -> Load -> Save reproduces the image byte for byte (the format has
   // no hash-map iteration order or other incidental state in it).
   auto restored = ParseCheckpoint(image, matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-  EXPECT_EQ(SerializeCheckpoint(**restored), image);
+  EXPECT_EQ(SerializeCheckpoint(**restored).ValueOrDie(), image);
 }
 
 TEST(CheckpointTest, FileRoundTripViaSaveAndLoad) {
@@ -272,7 +272,7 @@ TEST(CheckpointTest, FileRoundTripViaSaveAndLoad) {
 
   auto restored = LoadCheckpoint(path, matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-  ExpectBitwiseIdentical((*restored)->Snapshot(), pipeline.Snapshot(), "file");
+  ExpectBitwiseIdentical((*restored)->Snapshot().ValueOrDie(), pipeline.Snapshot().ValueOrDie(), "file");
   std::remove(path.c_str());
 }
 
@@ -281,7 +281,7 @@ TEST(CheckpointTest, PostLoadIngestionKeepsBatchEquivalenceAtEveryThreadCount) {
   JaccardMatcher matcher;
   IncrementalPipeline pipeline(ServeConfig(2));
   IngestAll(&pipeline, records, 0, records.size() / 2, 3, matcher);
-  const std::string image = SerializeCheckpoint(pipeline);
+  const std::string image = SerializeCheckpoint(pipeline).ValueOrDie();
 
   for (size_t threads : {1u, 2u, 8u}) {
     auto restored = ParseCheckpoint(image, matcher, /*num_threads_override=*/
@@ -291,7 +291,7 @@ TEST(CheckpointTest, PostLoadIngestionKeepsBatchEquivalenceAtEveryThreadCount) {
     IngestAll(restored->get(), records, records.size() / 2, records.size(), 4,
               matcher);
     ExpectEquivalent(
-        (*restored)->Snapshot(),
+        (*restored)->Snapshot().ValueOrDie(),
         RunBatchReference((*restored)->records(), (*restored)->config(),
                           matcher),
         "post-load ingest at threads=" + std::to_string(threads));
@@ -312,7 +312,7 @@ TEST(CheckpointTest, PostLoadIngestionNeverRescoresCachedPairs) {
 
   IncrementalPipeline first_half(ServeConfig(1));
   IngestAll(&first_half, records, 0, records.size() / 2, 3, matcher);
-  auto restored = ParseCheckpoint(SerializeCheckpoint(first_half), matcher);
+  auto restored = ParseCheckpoint(SerializeCheckpoint(first_half).ValueOrDie(), matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   IngestAll(restored->get(), records, records.size() / 2, records.size(), 3,
             matcher);
@@ -325,10 +325,10 @@ TEST(CheckpointTest, PostLoadIngestionNeverRescoresCachedPairs) {
 TEST(CheckpointTest, EmptyPipelineRoundTrips) {
   JaccardMatcher matcher;
   IncrementalPipeline pipeline(ServeConfig(1));
-  auto restored = ParseCheckpoint(SerializeCheckpoint(pipeline), matcher);
+  auto restored = ParseCheckpoint(SerializeCheckpoint(pipeline).ValueOrDie(), matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ((*restored)->records().size(), 0u);
-  ExpectBitwiseIdentical((*restored)->Snapshot(), pipeline.Snapshot(),
+  ExpectBitwiseIdentical((*restored)->Snapshot().ValueOrDie(), pipeline.Snapshot().ValueOrDie(),
                          "empty");
 }
 
@@ -344,7 +344,7 @@ class CheckpointCorruptionTest : public ::testing::Test {
     JaccardMatcher matcher;
     IncrementalPipeline pipeline(ServeConfig(1));
     IngestAll(&pipeline, records, 0, records.size(), 3, matcher);
-    image_ = new std::string(SerializeCheckpoint(pipeline));
+    image_ = new std::string(SerializeCheckpoint(pipeline).ValueOrDie());
   }
   static void TearDownTestSuite() {
     delete image_;
@@ -472,7 +472,7 @@ TEST(MatchServiceTest, PublishedSnapshotAnswersQueriesConsistently) {
   JaccardMatcher matcher;
   IncrementalPipeline pipeline(ServeConfig(1));
   IngestAll(&pipeline, records, 0, records.size(), 2, matcher);
-  const PipelineResult result = pipeline.Snapshot();
+  const PipelineResult result = pipeline.Snapshot().ValueOrDie();
 
   MatchService service;
   EXPECT_EQ(service.Publish(result, records.size()), 1u);
@@ -514,13 +514,13 @@ TEST(MatchServiceTest, HeldViewsAreImmutableAcrossPublishes) {
 
   MatchService service;
   IngestAll(&pipeline, records, 0, records.size() / 2, 1, matcher);
-  service.Publish(pipeline.Snapshot(), pipeline.records().size());
+  service.Publish(pipeline.Snapshot().ValueOrDie(), pipeline.records().size());
   MatchSnapshotPtr old_view = service.View();
   const ServeStats old_stats = old_view->stats();
 
   IngestAll(&pipeline, records, records.size() / 2, records.size(), 1,
             matcher);
-  service.Publish(pipeline.Snapshot(), pipeline.records().size());
+  service.Publish(pipeline.Snapshot().ValueOrDie(), pipeline.records().size());
   EXPECT_EQ(service.Stats().epoch, 2u);
   EXPECT_EQ(service.Stats().num_records, records.size());
   // The old view still answers with its own epoch's data.
@@ -583,9 +583,9 @@ TEST(MatchServiceTest, ConcurrentReadersAlwaysSeeOneConsistentEpoch) {
     const size_t stop = std::min(offset + batch_size, records.size());
     std::vector<Record> batch(records.begin() + static_cast<long>(offset),
                               records.begin() + static_cast<long>(stop));
-    pipeline.Ingest(batch, matcher);
+    ASSERT_TRUE(pipeline.Ingest(batch, matcher).ok());
     published =
-        service.Publish(pipeline.Snapshot(), pipeline.records().size());
+        service.Publish(pipeline.Snapshot().ValueOrDie(), pipeline.records().size());
   }
   done.store(true, std::memory_order_release);
   for (auto& reader : readers) reader.join();

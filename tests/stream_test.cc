@@ -15,12 +15,14 @@
 #include <algorithm>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "blocking/id_overlap.h"
 #include "blocking/token_overlap.h"
+#include "common/binary_io.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "datagen/financial_gen.h"
@@ -195,7 +197,7 @@ void RunSchedule(const std::vector<Record>& records,
     std::vector<Record> batch(records.begin() + static_cast<long>(offset),
                               records.begin() +
                                   static_cast<long>(offset + size));
-    pipeline.Ingest(batch, matcher);
+    ASSERT_TRUE(pipeline.Ingest(batch, matcher).ok());
     offset += size;
     const bool last = b + 1 == batch_sizes.size();
     if (!last && (b + 1) % check_every != 0) continue;
@@ -204,7 +206,7 @@ void RunSchedule(const std::vector<Record>& records,
                                 " (threads=" +
                                 std::to_string(config.pipeline.num_threads) +
                                 ")";
-    ExpectEquivalent(pipeline.Snapshot(),
+    ExpectEquivalent(pipeline.Snapshot().ValueOrDie(),
                      RunBatchReference(pipeline.records(), config, matcher),
                      context);
   }
@@ -339,7 +341,7 @@ TEST_F(FinancialStream, ScoreCachePreventsMatcherReinvocation) {
     std::vector<Record> batch(records_->begin() + static_cast<long>(offset),
                               records_->begin() +
                                   static_cast<long>(offset + size));
-    pipeline.Ingest(batch, counting);
+    ASSERT_TRUE(pipeline.Ingest(batch, counting).ok());
     offset += size;
   }
   // The headline cache property: no pair is ever scored twice.
@@ -347,7 +349,7 @@ TEST_F(FinancialStream, ScoreCachePreventsMatcherReinvocation) {
   EXPECT_EQ(counting.calls(), counting.distinct_pairs());
   EXPECT_EQ(counting.calls(), pipeline.total_matcher_calls());
   // Sanity: the incremental run produced a real result.
-  PipelineResult result = pipeline.Snapshot();
+  PipelineResult result = pipeline.Snapshot().ValueOrDie();
   EXPECT_GT(result.predicted_pairs.size(), 0u);
   EXPECT_GT(result.groups.size(), 0u);
 }
@@ -365,21 +367,21 @@ TEST_F(FinancialStream, FingerprintChangeInvalidatesCacheAndStaysEquivalent) {
   std::vector<Record> second(records_->begin() + static_cast<long>(half),
                              records_->end());
 
-  pipeline.Ingest(first, matcher_v1);
+  ASSERT_TRUE(pipeline.Ingest(first, matcher_v1).ok());
   const size_t calls_v1 = pipeline.total_matcher_calls();
   EXPECT_GT(calls_v1, 0u);
 
   // Swapping the matcher (empty batch) rescores every current candidate and
   // the snapshot tracks the new matcher's from-scratch result.
-  IngestReport swap = pipeline.Ingest({}, matcher_v2);
+  IngestReport swap = pipeline.Ingest({}, matcher_v2).ValueOrDie();
   EXPECT_EQ(swap.records_added, 0u);
   EXPECT_GT(swap.pairs_scored, 0u);
-  ExpectEquivalent(pipeline.Snapshot(),
+  ExpectEquivalent(pipeline.Snapshot().ValueOrDie(),
                    RunBatchReference(pipeline.records(), config, matcher_v2),
                    "after matcher swap");
 
-  pipeline.Ingest(second, matcher_v2);
-  ExpectEquivalent(pipeline.Snapshot(),
+  ASSERT_TRUE(pipeline.Ingest(second, matcher_v2).ok());
+  ExpectEquivalent(pipeline.Snapshot().ValueOrDie(),
                    RunBatchReference(pipeline.records(), config, matcher_v2),
                    "after matcher swap + second half");
 }
@@ -388,18 +390,18 @@ TEST_F(FinancialStream, EmptyBatchIsANoOp) {
   JaccardMatcher matcher;
   IncrementalPipelineConfig config = StreamConfig(1, 0.25);
   IncrementalPipeline pipeline(config);
-  pipeline.Ingest(*records_, matcher);
-  PipelineResult before = pipeline.Snapshot();
+  ASSERT_TRUE(pipeline.Ingest(*records_, matcher).ok());
+  PipelineResult before = pipeline.Snapshot().ValueOrDie();
   const size_t calls = pipeline.total_matcher_calls();
 
-  IngestReport report = pipeline.Ingest({}, matcher);
+  IngestReport report = pipeline.Ingest({}, matcher).ValueOrDie();
   EXPECT_EQ(report.records_added, 0u);
   EXPECT_EQ(report.pairs_scored, 0u);
   EXPECT_EQ(report.candidates_added, 0u);
   EXPECT_EQ(report.candidates_removed, 0u);
   EXPECT_EQ(report.components_rebuilt, 0u);
   EXPECT_EQ(pipeline.total_matcher_calls(), calls);
-  ExpectEquivalent(pipeline.Snapshot(), before, "after empty batch");
+  ExpectEquivalent(pipeline.Snapshot().ValueOrDie(), before, "after empty batch");
 }
 
 TEST_F(FinancialStream, ReportsObserveIncrementalScoping) {
@@ -413,7 +415,7 @@ TEST_F(FinancialStream, ReportsObserveIncrementalScoping) {
     std::vector<Record> batch(records_->begin() + static_cast<long>(offset),
                               records_->begin() +
                                   static_cast<long>(offset + size));
-    IngestReport report = pipeline.Ingest(batch, matcher);
+    IngestReport report = pipeline.Ingest(batch, matcher).ValueOrDie();
     offset += size;
     EXPECT_EQ(report.records_added, size);
     reused_total += report.components_reused;
@@ -475,12 +477,88 @@ TEST(WdcStream, ScoreCacheOnProductsNeverRescores) {
     std::vector<Record> batch(records.begin() + static_cast<long>(offset),
                               records.begin() +
                                   static_cast<long>(offset + size));
-    pipeline.Ingest(batch, counting);
+    ASSERT_TRUE(pipeline.Ingest(batch, counting).ok());
     offset += size;
   }
   EXPECT_GT(counting.calls(), 0u);
   EXPECT_EQ(counting.calls(), counting.distinct_pairs());
   EXPECT_EQ(counting.calls(), pipeline.total_matcher_calls());
+}
+
+// ---------------------------------------------------------------------------
+// Poisoned-pipeline fail-fast
+// ---------------------------------------------------------------------------
+
+/// Matcher that throws once its call budget is exhausted — models a flaky
+/// remote scorer dying mid-ingest. Starts with an unlimited budget; ArmAfter
+/// restricts the remaining healthy calls.
+class ThrowingMatcher : public PairwiseMatcher {
+ public:
+  std::string name() const override { return "throwing"; }
+  std::string Fingerprint() const override { return "throwing#1"; }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0) throw std::runtime_error("scorer backend unavailable");
+    if (budget_ != SIZE_MAX) --budget_;
+    return JaccardMatcher().MatchProbability(a, b);
+  }
+
+  void ArmAfter(size_t calls) {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = calls;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable size_t budget_ = SIZE_MAX;
+};
+
+TEST_F(FinancialStream, ThrowingMatcherPoisonsThePipeline) {
+  IncrementalPipeline pipeline(StreamConfig(2, 0.25));
+  const size_t half = records_->size() / 2;
+  std::vector<Record> first(records_->begin(),
+                            records_->begin() + static_cast<long>(half));
+  std::vector<Record> second(records_->begin() + static_cast<long>(half),
+                             records_->end());
+
+  // A healthy ingest, then one whose matcher dies mid-scoring: records and
+  // blocking indexes are already updated when the throw happens, so the
+  // pipeline transitions to the poisoned state instead of pretending the
+  // half-applied ingest succeeded.
+  ThrowingMatcher matcher;
+  ASSERT_TRUE(pipeline.Ingest(first, matcher).ok());
+  ASSERT_TRUE(pipeline.status().ok());
+
+  matcher.ArmAfter(/*calls=*/3);
+  Result<IngestReport> aborted = pipeline.Ingest(second, matcher);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kInternal);
+  EXPECT_NE(aborted.status().message().find("scorer backend unavailable"),
+            std::string::npos);
+
+  // Every subsequent state-observing operation fails with the same clean
+  // error — no unspecified state ever escapes.
+  EXPECT_FALSE(pipeline.status().ok());
+  Result<IngestReport> again = pipeline.Ingest({}, matcher);
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().message().find("poisoned"), std::string::npos);
+  Result<PipelineResult> snapshot = pipeline.Snapshot();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(snapshot.status().message().find("poisoned"), std::string::npos);
+  BinaryWriter writer;
+  Status serialized = pipeline.Serialize(&writer);
+  ASSERT_FALSE(serialized.ok());
+  EXPECT_NE(serialized.message().find("poisoned"), std::string::npos);
+}
+
+TEST_F(FinancialStream, MatcherThrowOnFirstIngestAlsoPoisons) {
+  IncrementalPipeline pipeline(StreamConfig(1, 0.25));
+  ThrowingMatcher matcher;
+  matcher.ArmAfter(/*calls=*/0);
+  Result<IngestReport> aborted = pipeline.Ingest(*records_, matcher);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_FALSE(pipeline.Snapshot().ok());
+  EXPECT_FALSE(pipeline.status().ok());
 }
 
 }  // namespace
