@@ -1,0 +1,59 @@
+#ifndef GRALMATCH_COMMON_SPAN_H_
+#define GRALMATCH_COMMON_SPAN_H_
+
+/// \file span.h
+/// Minimal std::span stand-in (the repo builds as C++17). A Span is a
+/// non-owning view over a contiguous sequence; it never allocates and never
+/// outlives validity checks — callers guarantee the underlying storage stays
+/// alive. Only the operations the batched-scoring APIs need are provided.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace gralmatch {
+
+/// \brief Non-owning view over `size` contiguous elements of type T.
+///
+/// Use `Span<const T>` for read-only views. Implicitly constructible from
+/// std::vector so scoring sites can pass their buffers directly.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// From a vector of the (possibly const-qualified) element type.
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<std::remove_const_t<T>, U>>>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<std::remove_const_t<T>, U> &&
+                                        std::is_const_v<T>>>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+
+  T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+  /// View of `count` elements starting at `offset` (must be in range).
+  Span subspan(size_t offset, size_t count) const {
+    assert(offset <= size_ && count <= size_ - offset);
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_COMMON_SPAN_H_

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "core/score_batching.h"
 #include "exec/parallel.h"
 
 namespace gralmatch {
@@ -24,27 +25,28 @@ PipelineResult EntityGroupPipeline::Run(const Dataset& dataset,
                                         const PairwiseMatcher& matcher) const {
   std::unique_ptr<ThreadPool> pool = MaybeMakePool(config_.num_threads);
 
-  // Pairwise prediction. The stopwatch wraps the whole scoring region
-  // (dispatch to join), not the per-pair calls, so inference_seconds is the
-  // stage's wall-clock at any thread count. Each iteration writes only its
-  // own flag slot, keeping the positive set order-identical to serial.
+  // Pairwise prediction, batched: contiguous score_batch_size chunks of the
+  // candidate list each make one ScoreBatch call, and the chunks fan out
+  // across the pool. The stopwatch wraps the whole scoring region (dispatch
+  // to join), not the per-batch calls, so inference_seconds is the stage's
+  // wall-clock at any thread count. Each chunk writes only its own score
+  // slice, keeping the positive set order-identical to serial — and the
+  // ScoreBatch contract keeps it bitwise-identical to per-pair scoring.
   Stopwatch watch;
-  std::vector<char> is_positive(candidates.size(), 0);
-  ParallelFor(
-      pool.get(), 0, candidates.size(),
-      [&](size_t i) {
-        const Record& a = dataset.records.at(candidates[i].pair.a);
-        const Record& b = dataset.records.at(candidates[i].pair.b);
-        is_positive[i] =
-            matcher.MatchProbability(a, b) >= config_.match_threshold ? 1 : 0;
-      },
-      /*grain=*/16);
+  std::vector<RecordPair> pairs;
+  pairs.reserve(candidates.size());
+  for (const Candidate& cand : candidates) pairs.push_back(cand.pair);
+  std::vector<double> scores(candidates.size(), 0.0);
+  ScorePairsBatched(pool.get(), dataset.records, matcher,
+                    Span<const RecordPair>(pairs.data(), pairs.size()),
+                    config_.score_batch_size,
+                    Span<double>(scores.data(), scores.size()));
   const double inference_seconds = watch.ElapsedSeconds();
 
   std::vector<Candidate> positives;
   positives.reserve(candidates.size() / 4 + 1);
   for (size_t i = 0; i < candidates.size(); ++i) {
-    if (is_positive[i]) positives.push_back(candidates[i]);
+    if (scores[i] >= config_.match_threshold) positives.push_back(candidates[i]);
   }
 
   PipelineResult result =

@@ -1,0 +1,27 @@
+#include "core/score_batching.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exec/parallel.h"
+
+namespace gralmatch {
+
+void ScorePairsBatched(ThreadPool* pool, const RecordTable& records,
+                       const PairwiseMatcher& matcher,
+                       Span<const RecordPair> pairs, size_t batch_size,
+                       Span<double> out) {
+  assert(out.size() == pairs.size());
+  const size_t n = pairs.size();
+  if (n == 0) return;
+  const size_t batch = std::max<size_t>(batch_size, 1);
+  const size_t num_chunks = (n + batch - 1) / batch;
+  ParallelFor(pool, 0, num_chunks, [&](size_t c) {
+    const size_t begin = c * batch;
+    const size_t count = std::min(batch, n - begin);
+    matcher.ScoreBatch(records, pairs.subspan(begin, count),
+                       out.subspan(begin, count));
+  });
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,40 @@
+#ifndef GRALMATCH_CORE_SCORE_BATCHING_H_
+#define GRALMATCH_CORE_SCORE_BATCHING_H_
+
+/// \file score_batching.h
+/// The one chunked batched-scoring routine every pipeline scoring site
+/// (EntityGroupPipeline::Run, IncrementalPipeline ingest, ShardedPipeline)
+/// goes through, so batching policy lives in one place. See
+/// docs/matchers.md "Batched inference".
+
+#include <cstddef>
+
+#include "common/span.h"
+#include "data/ground_truth.h"
+#include "data/record.h"
+#include "matching/matcher.h"
+
+namespace gralmatch {
+
+class ThreadPool;
+
+/// Score `pairs` against `records` into `out` (out.size() == pairs.size())
+/// by slicing the pair list into contiguous chunks of at most `batch_size`
+/// pairs, calling matcher.ScoreBatch once per chunk, and fanning the chunks
+/// out across `pool` (serial when null).
+///
+/// Deterministic by construction: chunk boundaries depend only on
+/// pairs.size() and batch_size, each chunk writes only its own out-slice,
+/// and the ScoreBatch contract makes every chunking bitwise-identical to
+/// per-pair scoring — so results are independent of both batch_size and
+/// thread count. A batch_size of 0 is treated as 1. Exceptions from the
+/// matcher propagate deterministically (lowest failing chunk first), which
+/// the pipelines rely on for their poisoning semantics.
+void ScorePairsBatched(ThreadPool* pool, const RecordTable& records,
+                       const PairwiseMatcher& matcher,
+                       Span<const RecordPair> pairs, size_t batch_size,
+                       Span<double> out);
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_CORE_SCORE_BATCHING_H_

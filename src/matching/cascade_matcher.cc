@@ -1,0 +1,90 @@
+#include "matching/cascade_matcher.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace gralmatch {
+
+namespace {
+/// Exact bit pattern of a double as a hex string, so Fingerprint() cannot
+/// alias two thresholds that round-trip to the same decimal text.
+std::string DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+}  // namespace
+
+CascadeMatcher::CascadeMatcher(const PairwiseMatcher* gate,
+                               const PairwiseMatcher* expensive,
+                               Options options)
+    : gate_(gate), expensive_(expensive), options_(options) {}
+
+std::string CascadeMatcher::name() const {
+  return "Cascade(" + gate_->name() + "->" + expensive_->name() + ")";
+}
+
+double CascadeMatcher::MatchProbability(const Record& a,
+                                        const Record& b) const {
+  const double g = gate_->MatchProbability(a, b);
+  if (!Escalates(g)) {
+    gate_resolved_.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.exact_reference) return g;
+  } else {
+    escalated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return expensive_->MatchProbability(a, b);
+}
+
+void CascadeMatcher::ScoreBatch(const RecordTable& records,
+                                Span<const RecordPair> pairs,
+                                Span<double> out) const {
+  const size_t n = pairs.size();
+  if (n == 0) return;
+  gate_->ScoreBatch(records, pairs, out);
+
+  // Gather the pairs the gate could not resolve (all of them in
+  // exact_reference mode), keeping batch order so the expensive matcher
+  // sees the same subsequence any per-pair walk would produce.
+  std::vector<RecordPair> escalate;
+  std::vector<size_t> positions;
+  uint64_t resolved = 0;
+  uint64_t banded = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool band = Escalates(out[i]);
+    if (band) {
+      ++banded;
+    } else {
+      ++resolved;
+    }
+    if (band || options_.exact_reference) {
+      escalate.push_back(pairs[i]);
+      positions.push_back(i);
+    }
+  }
+  gate_resolved_.fetch_add(resolved, std::memory_order_relaxed);
+  escalated_.fetch_add(banded, std::memory_order_relaxed);
+  if (escalate.empty()) return;
+
+  std::vector<double> expensive_scores(escalate.size());
+  expensive_->ScoreBatch(
+      records, Span<const RecordPair>(escalate.data(), escalate.size()),
+      Span<double>(expensive_scores.data(), expensive_scores.size()));
+  for (size_t k = 0; k < positions.size(); ++k) {
+    out[positions[k]] = expensive_scores[k];
+  }
+}
+
+std::string CascadeMatcher::Fingerprint() const {
+  return "cascade|lo=" + DoubleBits(options_.lower_threshold) +
+         "|hi=" + DoubleBits(options_.upper_threshold) +
+         "|ref=" + (options_.exact_reference ? "1" : "0") + "|gate=[" +
+         gate_->Fingerprint() + "]|exp=[" + expensive_->Fingerprint() + "]";
+}
+
+}  // namespace gralmatch

@@ -85,6 +85,24 @@ double TransformerMatcher::MatchProbability(const Record& a,
   return probs[1];
 }
 
+void TransformerMatcher::ScoreBatch(const RecordTable& records,
+                                    Span<const RecordPair> pairs,
+                                    Span<double> out) const {
+  std::vector<EncodedSequence> sequences;
+  sequences.reserve(pairs.size());
+  for (const RecordPair& pair : pairs) {
+    sequences.push_back(serializer_->EncodePair(records.at(pair.a),
+                                                records.at(pair.b), vocab_,
+                                                config_.max_seq_len));
+  }
+  const Matrix probs =
+      model_->PredictBatch(Span<const EncodedSequence>(sequences.data(),
+                                                       sequences.size()));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = static_cast<double>(probs.at(i, 1));
+  }
+}
+
 Status TransformerMatcher::Save(const std::string& dir) const {
   if (model_ == nullptr) return Status::Internal("matcher not initialized");
   std::error_code ec;

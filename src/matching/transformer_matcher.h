@@ -57,6 +57,15 @@ class TransformerMatcher : public PairwiseMatcher {
   std::string name() const override { return config_.display_name; }
   double MatchProbability(const Record& a, const Record& b) const override;
 
+  /// Batched override: encodes every pair, then runs ONE packed forward
+  /// pass (TransformerClassifier::PredictBatch) instead of pairs.size()
+  /// independent ones — per-pair allocation and weight-matrix traffic are
+  /// amortized over the batch. Scores are bitwise-identical to per-pair
+  /// MatchProbability for any batch composition (the PredictBatch
+  /// guarantee); see docs/matchers.md "Batched inference".
+  void ScoreBatch(const RecordTable& records, Span<const RecordPair> pairs,
+                  Span<double> out) const override;
+
   /// Name plus a process-unique revision that changes on every mutation of
   /// the trained state (BuildVocab, FineTune, Load), so a retrained or
   /// reloaded matcher never aliases a stale pair-score cache entry. Not

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "nn/simd.h"
+
 namespace gralmatch {
 
 void Matrix::Zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
@@ -13,19 +15,33 @@ void Matrix::FillNormal(Rng* rng, float std) {
 
 void Matrix::Add(const Matrix& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  const size_t n = data_.size();
+  GRALMATCH_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) a[i] += b[i];
 }
 
 void Matrix::Scale(float s) {
-  for (auto& x : data_) x *= s;
+  float* a = data_.data();
+  const size_t n = data_.size();
+  GRALMATCH_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) a[i] *= s;
 }
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.rows());
-  *out = Matrix(a.rows(), b.cols());
+  assert(out != &a && out != &b);
+  out->ResizeZero(a.rows(), b.cols());
   MatMulAcc(a, b, out);
 }
 
+// Register-blocked saxpy formulation: each output row accumulates rank-1
+// contributions in p-order, with the j-loop as the vector lane. Unrolling
+// pairs of p keeps per-element addition order identical to the reference
+// loop (out[j] += a0*b0[j]; out[j] += a1*b1[j]) while halving the passes
+// over the output row. The av == 0 skip is preserved exactly: += 0*b[j]
+// is not a bitwise no-op (-0.0 + 0.0 flips to +0.0, NaN/inf propagate).
 void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.rows());
   assert(out->rows() == a.rows() && out->cols() == b.cols());
@@ -33,18 +49,41 @@ void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
   for (size_t i = 0; i < m; ++i) {
     float* out_row = out->row(i);
     const float* a_row = a.row(i);
-    for (size_t p = 0; p < k; ++p) {
+    size_t p = 0;
+    for (; p + 1 < k; p += 2) {
+      const float av0 = a_row[p];
+      const float av1 = a_row[p + 1];
+      const float* b0 = b.row(p);
+      const float* b1 = b.row(p + 1);
+      if (av0 != 0.0f && av1 != 0.0f) {
+        GRALMATCH_SIMD_LOOP
+        for (size_t j = 0; j < n; ++j) {
+          out_row[j] += av0 * b0[j];
+          out_row[j] += av1 * b1[j];
+        }
+      } else if (av0 != 0.0f) {
+        GRALMATCH_SIMD_LOOP
+        for (size_t j = 0; j < n; ++j) out_row[j] += av0 * b0[j];
+      } else if (av1 != 0.0f) {
+        GRALMATCH_SIMD_LOOP
+        for (size_t j = 0; j < n; ++j) out_row[j] += av1 * b1[j];
+      }
+    }
+    if (p < k) {
       const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b.row(p);
-      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      if (av != 0.0f) {
+        const float* b_row = b.row(p);
+        GRALMATCH_SIMD_LOOP
+        for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
     }
   }
 }
 
 void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.rows() == b.rows());
-  *out = Matrix(a.cols(), b.cols());
+  assert(out != &a && out != &b);
+  out->ResizeZero(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   for (size_t p = 0; p < k; ++p) {
     const float* a_row = a.row(p);
@@ -53,14 +92,22 @@ void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out) {
       const float av = a_row[i];
       if (av == 0.0f) continue;
       float* out_row = out->row(i);
+      GRALMATCH_SIMD_LOOP
       for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
     }
   }
 }
 
+// Dot-product formulation: the inner p-loop is a serial reduction on
+// purpose. Vectorizing it would reorder the partial sums and change
+// low-order bits, breaking the bitwise batch-vs-per-pair and SIMD-vs-scalar
+// equivalences (see nn/simd.h). The j-loop amortizes a_row loads instead.
 void MatMulNT(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.cols());
-  *out = Matrix(a.rows(), b.rows());
+  assert(out != &a && out != &b);
+  // Every element is assigned below, so a plain Resize (no zero-fill)
+  // suffices.
+  out->Resize(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   for (size_t i = 0; i < m; ++i) {
     const float* a_row = a.row(i);

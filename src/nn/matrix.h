@@ -36,6 +36,23 @@ class Matrix {
   /// Set every element to zero.
   void Zero();
 
+  /// Reshape to rows x cols, reusing the existing allocation when capacity
+  /// allows. Element values are unspecified afterwards — callers must
+  /// overwrite every element. This is what lets the forward-pass workspaces
+  /// cycle through layers and batches without touching the allocator.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Resize(rows, cols) followed by zero-fill, again reusing capacity.
+  void ResizeZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
   /// Fill with N(0, std^2) (Xavier/Glorot-style init chooses std).
   void FillNormal(Rng* rng, float std);
 
@@ -55,13 +72,17 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized in
+/// place (its allocation is reused when large enough) and must not alias
+/// `a` or `b`.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 
-/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n). Same resize-in-
+/// place and no-alias rules as MatMul.
 void MatMulTN(const Matrix& a, const Matrix& b, Matrix* out);
 
-/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n). Same resize-in-
+/// place and no-alias rules as MatMul.
 void MatMulNT(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out += a * b (accumulating variant of MatMul; `out` must be presized).

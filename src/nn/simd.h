@@ -1,0 +1,28 @@
+#ifndef GRALMATCH_NN_SIMD_H_
+#define GRALMATCH_NN_SIMD_H_
+
+/// \file simd.h
+/// Configure-time kernel selection for the nn hot loops.
+///
+/// `-DGRALMATCH_SIMD=ON` (the default) compiles the nn module with
+/// `-fopenmp-simd` and defines GRALMATCH_SIMD_ENABLED, turning
+/// GRALMATCH_SIMD_LOOP into an `omp simd` hint on the annotated inner loops;
+/// `-DGRALMATCH_SIMD=OFF` is the scalar fallback where the macro expands to
+/// nothing (a CI leg keeps that path green).
+///
+/// Only *lane-independent* elementwise loops are annotated — loops where
+/// element j reads and writes exclusively its own accumulator, so
+/// vectorizing executes the identical operation sequence per element and
+/// the result is bitwise-identical to the scalar build. Reduction loops
+/// (dot products in MatMulNT, softmax sums) are deliberately left scalar:
+/// a vectorized reduction reorders the additions and would break the
+/// repo-wide bitwise-equivalence contracts (golden metrics, batch-vs-
+/// per-pair differentials, checkpoint byte-stability). See
+/// docs/matchers.md "Kernel dispatch".
+#if defined(GRALMATCH_SIMD_ENABLED)
+#define GRALMATCH_SIMD_LOOP _Pragma("omp simd")
+#else
+#define GRALMATCH_SIMD_LOOP
+#endif
+
+#endif  // GRALMATCH_NN_SIMD_H_

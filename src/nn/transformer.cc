@@ -1,22 +1,27 @@
 #include "nn/transformer.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "nn/simd.h"
 
 namespace gralmatch {
 
 namespace {
 
 /// LayerNorm forward over each row of x. Stores normalized rows in `xhat`
-/// and per-row 1/std in `inv_std` for the backward pass.
+/// and per-row 1/std in `inv_std` for the backward pass. Rows are
+/// independent, so running it over a packed multi-sequence matrix is
+/// bitwise-identical to running it per sequence.
 void LayerNormForward(const Matrix& x, const Parameter& gamma,
                       const Parameter& beta, Matrix* y, Matrix* xhat,
                       std::vector<float>* inv_std) {
   const size_t rows = x.rows(), d = x.cols();
-  *y = Matrix(rows, d);
-  *xhat = Matrix(rows, d);
+  y->Resize(rows, d);
+  xhat->Resize(rows, d);
   inv_std->assign(rows, 0.0f);
   for (size_t i = 0; i < rows; ++i) {
     const float* xi = x.row(i);
@@ -33,9 +38,12 @@ void LayerNormForward(const Matrix& x, const Parameter& gamma,
     (*inv_std)[i] = istd;
     float* xh = xhat->row(i);
     float* yi = y->row(i);
+    const float* g = gamma.value.data();
+    const float* be = beta.value.data();
+    GRALMATCH_SIMD_LOOP
     for (size_t j = 0; j < d; ++j) {
       xh[j] = (xi[j] - mean) * istd;
-      yi[j] = xh[j] * gamma.value.data()[j] + beta.value.data()[j];
+      yi[j] = xh[j] * g[j] + be[j];
     }
   }
 }
@@ -71,23 +79,129 @@ void LayerNormBackward(const Matrix& dy, const Matrix& xhat,
   }
 }
 
+/// Copy head slice [h*dh, (h+1)*dh) of rows [row_begin, row_begin + rows) of
+/// src into dst (rows x dh). The packed batch forward slices one sequence's
+/// row range; the single-sequence path passes row_begin = 0.
+void SliceHeadRange(const Matrix& src, size_t row_begin, size_t rows, size_t h,
+                    size_t dh, Matrix* dst) {
+  dst->Resize(rows, dh);
+  for (size_t i = 0; i < rows; ++i) {
+    std::memcpy(dst->row(i), src.row(row_begin + i) + h * dh,
+                dh * sizeof(float));
+  }
+}
+
 /// Copy head slice [h*dh, (h+1)*dh) of src (L x D) into dst (L x dh).
 void SliceHead(const Matrix& src, size_t h, size_t dh, Matrix* dst) {
+  SliceHeadRange(src, 0, src.rows(), h, dh, dst);
+}
+
+/// Accumulate a head slice back into a row range:
+/// dst[row_begin + i, h*dh:(h+1)*dh] += src[i, :].
+void UnsliceHeadRangeAcc(const Matrix& src, size_t row_begin, size_t h,
+                         size_t dh, Matrix* dst) {
   const size_t rows = src.rows();
-  *dst = Matrix(rows, dh);
   for (size_t i = 0; i < rows; ++i) {
-    std::memcpy(dst->row(i), src.row(i) + h * dh, dh * sizeof(float));
+    float* d = dst->row(row_begin + i) + h * dh;
+    const float* s = src.row(i);
+    GRALMATCH_SIMD_LOOP
+    for (size_t j = 0; j < dh; ++j) d[j] += s[j];
   }
 }
 
 /// Accumulate a head slice back: dst[:, h*dh:(h+1)*dh] += src.
 void UnsliceHeadAcc(const Matrix& src, size_t h, size_t dh, Matrix* dst) {
-  const size_t rows = src.rows();
+  UnsliceHeadRangeAcc(src, 0, h, dh, dst);
+}
+
+/// Scaled row-wise softmax with max-subtraction, in place. Shared by the
+/// single-sequence and packed batch forwards so the operation sequence per
+/// row is identical by construction. The max and sum are serial reductions
+/// on purpose (see nn/simd.h); the final normalization is elementwise.
+void AttentionSoftmaxRows(Matrix* scores, float scale) {
+  const size_t rows = scores->rows(), cols = scores->cols();
   for (size_t i = 0; i < rows; ++i) {
-    float* d = dst->row(i) + h * dh;
-    const float* s = src.row(i);
-    for (size_t j = 0; j < dh; ++j) d[j] += s[j];
+    float* row = scores->row(i);
+    float mx = -1e30f;
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] *= scale;
+      if (row[j] > mx) mx = row[j];
+    }
+    float sum = 0.0f;
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    float inv = 1.0f / sum;
+    GRALMATCH_SIMD_LOOP
+    for (size_t j = 0; j < cols; ++j) row[j] *= inv;
   }
+}
+
+/// h += bias (broadcast over rows), then ReLU. Row-independent.
+void AddBiasReLU(Matrix* h, const Parameter& bias) {
+  const size_t rows = h->rows(), cols = h->cols();
+  const float* b = bias.value.data();
+  for (size_t i = 0; i < rows; ++i) {
+    float* row = h->row(i);
+    GRALMATCH_SIMD_LOOP
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] += b[j];
+      if (row[j] < 0.0f) row[j] = 0.0f;  // ReLU
+    }
+  }
+}
+
+/// h += bias (broadcast over rows). Row-independent.
+void AddBias(Matrix* h, const Parameter& bias) {
+  const size_t rows = h->rows(), cols = h->cols();
+  const float* b = bias.value.data();
+  for (size_t i = 0; i < rows; ++i) {
+    float* row = h->row(i);
+    GRALMATCH_SIMD_LOOP
+    for (size_t j = 0; j < cols; ++j) row[j] += b[j];
+  }
+}
+
+/// Token + position + segment + shared-flag embeddings of a sequence's first
+/// `len` tokens, written into rows [row_begin, row_begin + len) of x.
+void EmbedSequenceRows(const EncodedSequence& input, size_t len,
+                       int32_t vocab_size, const Parameter& embed,
+                       const Parameter& pos, const Parameter& seg,
+                       const Parameter& shared, size_t row_begin, Matrix* x) {
+  const size_t d = x->cols();
+  for (size_t i = 0; i < len; ++i) {
+    int32_t tok = input.tokens[i];
+    if (tok < 0 || tok >= vocab_size) tok = 0;
+    const float* e = embed.value.row(static_cast<size_t>(tok));
+    const float* p = pos.value.row(i);
+    const float* sg =
+        seg.value.row(i < input.segments.size() && input.segments[i] ? 1 : 0);
+    const float* sh =
+        shared.value.row(i < input.shared.size() && input.shared[i] ? 1 : 0);
+    float* xi = x->row(row_begin + i);
+    GRALMATCH_SIMD_LOOP
+    for (size_t j = 0; j < d; ++j) xi[j] = e[j] + p[j] + sg[j] + sh[j];
+  }
+}
+
+/// Classification head + softmax on one final-LayerNorm [CLS] row, written
+/// into out[0, num_classes).
+void ClassifyClsRow(const float* cls, const Parameter& wc, const Parameter& bc,
+                    size_t d, size_t num_classes, float* out) {
+  for (size_t c = 0; c < num_classes; ++c) {
+    float sum = bc.value.data()[c];
+    for (size_t j = 0; j < d; ++j) sum += cls[j] * wc.value.at(j, c);
+    out[c] = sum;
+  }
+  float mx = out[0];
+  for (size_t c = 0; c < num_classes; ++c) mx = std::max(mx, out[c]);
+  float sum = 0.0f;
+  for (size_t c = 0; c < num_classes; ++c) {
+    out[c] = std::exp(out[c] - mx);
+    sum += out[c];
+  }
+  for (size_t c = 0; c < num_classes; ++c) out[c] /= sum;
 }
 
 }  // namespace
@@ -192,18 +306,8 @@ std::vector<float> TransformerClassifier::ForwardImpl(
   const size_t len = std::min(tokens.size(), config_.max_seq_len);
 
   Matrix x(len, d);
-  for (size_t i = 0; i < len; ++i) {
-    int32_t tok = tokens[i];
-    if (tok < 0 || tok >= config_.vocab_size) tok = 0;
-    const float* e = embed_.value.row(static_cast<size_t>(tok));
-    const float* p = pos_.value.row(i);
-    const float* sg =
-        seg_.value.row(i < input.segments.size() && input.segments[i] ? 1 : 0);
-    const float* sh = shared_.value.row(
-        i < input.shared.size() && input.shared[i] ? 1 : 0);
-    float* xi = x.row(i);
-    for (size_t j = 0; j < d; ++j) xi[j] = e[j] + p[j] + sg[j] + sh[j];
-  }
+  EmbedSequenceRows(input, len, config_.vocab_size, embed_, pos_, seg_,
+                    shared_, /*row_begin=*/0, &x);
   if (cache) {
     cache->seq_len = len;
     cache->x0 = x;
@@ -244,22 +348,7 @@ std::vector<float> TransformerClassifier::ForwardImpl(
       SliceHead(k, h, dh, &kh);
       SliceHead(v, h, dh, &vh);
       MatMulNT(qh, kh, &scores);
-      // Row-wise softmax with max-subtraction.
-      for (size_t i = 0; i < len; ++i) {
-        float* row = scores.row(i);
-        float mx = -1e30f;
-        for (size_t j = 0; j < len; ++j) {
-          row[j] *= scale;
-          if (row[j] > mx) mx = row[j];
-        }
-        float sum = 0.0f;
-        for (size_t j = 0; j < len; ++j) {
-          row[j] = std::exp(row[j] - mx);
-          sum += row[j];
-        }
-        float inv = 1.0f / sum;
-        for (size_t j = 0; j < len; ++j) row[j] *= inv;
-      }
+      AttentionSoftmaxRows(&scores, scale);
       if (lc) lc->attn[h] = scores;
       MatMul(scores, vh, &oh);
       UnsliceHeadAcc(oh, h, dh, &o);
@@ -278,21 +367,10 @@ std::vector<float> TransformerClassifier::ForwardImpl(
     LayerNormForward(x2, p.ln2_gamma, p.ln2_beta, &y2, &xhat2, &inv_std2);
     Matrix h1;
     MatMul(y2, p.w1.value, &h1);
-    for (size_t i = 0; i < len; ++i) {
-      float* row = h1.row(i);
-      const float* b = p.b1.value.data();
-      for (size_t j = 0; j < config_.d_ff; ++j) {
-        row[j] += b[j];
-        if (row[j] < 0.0f) row[j] = 0.0f;  // ReLU
-      }
-    }
+    AddBiasReLU(&h1, p.b1);
     Matrix f2;
     MatMul(h1, p.w2.value, &f2);
-    for (size_t i = 0; i < len; ++i) {
-      float* row = f2.row(i);
-      const float* b = p.b2.value.data();
-      for (size_t j = 0; j < d; ++j) row[j] += b[j];
-    }
+    AddBias(&f2, p.b2);
     Matrix x3 = x2;
     x3.Add(f2);
     if (lc) {
@@ -315,28 +393,129 @@ std::vector<float> TransformerClassifier::ForwardImpl(
     cache->yf = yf;
   }
 
-  std::vector<float> logits(config_.num_classes, 0.0f);
-  const float* cls = yf.row(0);
-  for (size_t c = 0; c < config_.num_classes; ++c) {
-    float sum = bc_.value.data()[c];
-    for (size_t j = 0; j < d; ++j) sum += cls[j] * wc_.value.at(j, c);
-    logits[c] = sum;
-  }
-  // Softmax.
-  float mx = logits[0];
-  for (float v2 : logits) mx = std::max(mx, v2);
-  float sum = 0.0f;
-  for (auto& v2 : logits) {
-    v2 = std::exp(v2 - mx);
-    sum += v2;
-  }
-  for (auto& v2 : logits) v2 /= sum;
-  return logits;
+  std::vector<float> probs(config_.num_classes, 0.0f);
+  ClassifyClsRow(yf.row(0), wc_, bc_, d, config_.num_classes, probs.data());
+  return probs;
 }
 
 std::vector<float> TransformerClassifier::Predict(
     const EncodedSequence& input) const {
   return ForwardImpl(input, nullptr);
+}
+
+Matrix TransformerClassifier::PredictBatch(
+    Span<const EncodedSequence> inputs) const {
+  const size_t batch = inputs.size();
+  Matrix probs(batch, config_.num_classes);
+  if (batch == 0) return probs;
+
+  const size_t d = config_.d_model;
+  const size_t heads = config_.num_heads;
+  const size_t dh = d / heads;
+
+  // Packed (length-concatenated) layout: sequence s owns rows
+  // [offset[s], offset[s+1]) of every activation matrix. No padding rows
+  // exist, so no FLOP is spent on pad tokens and no masking is needed —
+  // every row-independent kernel (LayerNorm, projections, FFN) runs over
+  // the packed matrix and is bitwise-identical per row to the
+  // single-sequence forward; only attention, which couples rows within one
+  // sequence, runs per sequence on its row range.
+  //
+  // All activations live in a thread-local workspace whose buffers are
+  // reshaped in place (Matrix::Resize keeps capacity), so steady-state
+  // scoring performs no heap allocation at all. Without this, every packed
+  // activation matrix is large enough to hit the allocator's mmap path and
+  // the page-fault churn erases the batching win. Reuse is value-
+  // transparent: every buffer is fully overwritten (or zero-filled) before
+  // it is read, so results never depend on what a previous call left
+  // behind.
+  struct Workspace {
+    std::vector<size_t> offset;
+    Matrix x, y, q, k, v, o, z, x2, y2, h1, f2, xhat, yf;
+    std::vector<float> inv_std;
+    Matrix qh, kh, vh, scores, oh;
+  };
+  thread_local Workspace ws;
+
+  std::vector<size_t>& offset = ws.offset;
+  offset.assign(batch + 1, 0);
+  for (size_t s = 0; s < batch; ++s) {
+    assert(!inputs[s].tokens.empty() && "PredictBatch: empty sequence");
+    offset[s + 1] =
+        offset[s] + std::min(inputs[s].tokens.size(), config_.max_seq_len);
+  }
+  const size_t total = offset[batch];
+
+  Matrix& x = ws.x;
+  x.Resize(total, d);
+  for (size_t s = 0; s < batch; ++s) {
+    EmbedSequenceRows(inputs[s], offset[s + 1] - offset[s], config_.vocab_size,
+                      embed_, pos_, seg_, shared_, offset[s], &x);
+  }
+
+  Matrix& y = ws.y;
+  Matrix& q = ws.q;
+  Matrix& k = ws.k;
+  Matrix& v = ws.v;
+  Matrix& o = ws.o;
+  Matrix& z = ws.z;
+  Matrix& x2 = ws.x2;
+  Matrix& y2 = ws.y2;
+  Matrix& h1 = ws.h1;
+  Matrix& f2 = ws.f2;
+  Matrix& xhat = ws.xhat;
+  std::vector<float>& inv_std = ws.inv_std;
+  Matrix& qh = ws.qh;
+  Matrix& kh = ws.kh;
+  Matrix& vh = ws.vh;
+  Matrix& scores = ws.scores;
+  Matrix& oh = ws.oh;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (size_t l = 0; l < config_.num_layers; ++l) {
+    const LayerParams& p = layers_[l];
+
+    // --- Attention sublayer (pre-LN) ---
+    LayerNormForward(x, p.ln1_gamma, p.ln1_beta, &y, &xhat, &inv_std);
+    MatMul(y, p.wq.value, &q);
+    MatMul(y, p.wk.value, &k);
+    MatMul(y, p.wv.value, &v);
+    o.ResizeZero(total, d);
+    for (size_t s = 0; s < batch; ++s) {
+      const size_t begin = offset[s];
+      const size_t len = offset[s + 1] - begin;
+      for (size_t h = 0; h < heads; ++h) {
+        SliceHeadRange(q, begin, len, h, dh, &qh);
+        SliceHeadRange(k, begin, len, h, dh, &kh);
+        SliceHeadRange(v, begin, len, h, dh, &vh);
+        MatMulNT(qh, kh, &scores);
+        AttentionSoftmaxRows(&scores, scale);
+        MatMul(scores, vh, &oh);
+        UnsliceHeadRangeAcc(oh, begin, h, dh, &o);
+      }
+    }
+    MatMul(o, p.wo.value, &z);
+    x2 = x;
+    x2.Add(z);
+
+    // --- Feed-forward sublayer (pre-LN) ---
+    LayerNormForward(x2, p.ln2_gamma, p.ln2_beta, &y2, &xhat, &inv_std);
+    MatMul(y2, p.w1.value, &h1);
+    AddBiasReLU(&h1, p.b1);
+    MatMul(h1, p.w2.value, &f2);
+    AddBias(&f2, p.b2);
+    x2.Add(f2);
+    // Swap instead of move: x2's old buffer becomes next layer's scratch.
+    std::swap(x, x2);
+  }
+
+  // Final LayerNorm + classification on each sequence's [CLS] row.
+  Matrix& yf = ws.yf;
+  LayerNormForward(x, lnf_gamma_, lnf_beta_, &yf, &xhat, &inv_std);
+  for (size_t s = 0; s < batch; ++s) {
+    ClassifyClsRow(yf.row(offset[s]), wc_, bc_, d, config_.num_classes,
+                   probs.row(s));
+  }
+  return probs;
 }
 
 float TransformerClassifier::Loss(const EncodedSequence& input,

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "nn/optimizer.h"
 
@@ -69,6 +70,16 @@ class TransformerClassifier {
   std::vector<float> Predict(const std::vector<int32_t>& tokens) const {
     return Predict(EncodedSequence{tokens, {}, {}});
   }
+
+  /// Class probabilities for a whole batch in one packed forward pass; row s
+  /// of the returned (inputs.size() x num_classes) matrix is the prediction
+  /// for inputs[s]. Sequences are concatenated row-wise (no padding): the
+  /// row-independent kernels run over the packed activations and attention
+  /// runs per sequence, so row s is bitwise-identical to Predict(inputs[s])
+  /// — batching amortizes allocations and weight-matrix traffic, it never
+  /// changes scores (tests/nn_test.cc pins this). Sequences must be
+  /// non-empty.
+  Matrix PredictBatch(Span<const EncodedSequence> inputs) const;
 
   /// Forward + backward for one example; accumulates gradients and returns
   /// the cross-entropy loss.

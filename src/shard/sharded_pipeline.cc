@@ -5,6 +5,7 @@
 
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
+#include "core/score_batching.h"
 #include "exec/parallel.h"
 
 namespace gralmatch {
@@ -171,15 +172,15 @@ IngestReport ShardedPipeline::IngestImpl(const std::vector<Record>& batch,
     std::sort(pairs.begin(), pairs.end());
     flat.insert(flat.end(), pairs.begin(), pairs.end());
   }
+  // Batched scoring over the flattened list: chunk boundaries depend only on
+  // flat.size() and score_batch_size (shard slices stay contiguous within
+  // it), so results are bitwise-identical to per-pair at any thread count.
   Stopwatch scoring_watch;
-  std::vector<double> scores = ParallelMap<double>(
-      pool_.get(), flat.size(),
-      [&](size_t k) {
-        const RecordPair& pair = flat[k];
-        return matcher.MatchProbability(records_.at(pair.a),
-                                        records_.at(pair.b));
-      },
-      /*grain=*/8);
+  std::vector<double> scores(flat.size(), 0.0);
+  ScorePairsBatched(pool_.get(), records_, matcher,
+                    Span<const RecordPair>(flat.data(), flat.size()),
+                    config_.base.pipeline.score_batch_size,
+                    Span<double>(scores.data(), scores.size()));
   report.scoring_seconds = scoring_watch.ElapsedSeconds();
   scoring_seconds_total_ += report.scoring_seconds;
   for (size_t k = 0; k < flat.size(); ++k) {

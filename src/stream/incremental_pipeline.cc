@@ -5,6 +5,7 @@
 
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
+#include "core/score_batching.h"
 #include "exec/parallel.h"
 
 namespace gralmatch {
@@ -114,15 +115,15 @@ IngestReport IncrementalPipeline::IngestImpl(const std::vector<Record>& batch,
     }
   }
   std::sort(to_score.begin(), to_score.end());
+  // Batched scoring (core/score_batching.h): the sorted to-score list is cut
+  // into score_batch_size chunks, one ScoreBatch call each, fanned out over
+  // the pool — bitwise-identical to the per-pair walk at any thread count.
   Stopwatch scoring_watch;
-  std::vector<double> scores = ParallelMap<double>(
-      pool_.get(), to_score.size(),
-      [&](size_t k) {
-        const RecordPair& pair = to_score[k];
-        return matcher.MatchProbability(records_.at(pair.a),
-                                        records_.at(pair.b));
-      },
-      /*grain=*/8);
+  std::vector<double> scores(to_score.size(), 0.0);
+  ScorePairsBatched(pool_.get(), records_, matcher,
+                    Span<const RecordPair>(to_score.data(), to_score.size()),
+                    config_.pipeline.score_batch_size,
+                    Span<double>(scores.data(), scores.size()));
   report.scoring_seconds = scoring_watch.ElapsedSeconds();
   scoring_seconds_total_ += report.scoring_seconds;
   for (size_t k = 0; k < to_score.size(); ++k) {

@@ -10,6 +10,11 @@
 // with the printout below each EXPECT block and update the constants in the
 // same commit that explains why.
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "blocking/id_overlap.h"
@@ -19,6 +24,8 @@
 #include "datagen/wdc_gen.h"
 #include "eval/metrics.h"
 #include "matching/baselines.h"
+#include "matching/cascade_matcher.h"
+#include "text/normalize.h"
 
 namespace gralmatch {
 namespace {
@@ -75,6 +82,144 @@ TEST(GoldenFinancial, SecuritiesPipelineMetricsPinned) {
   EXPECT_NEAR(post.F1(), 0.8487215909, 1e-9);
   EXPECT_NEAR(ClusterPurity(result.groups, bench.securities.truth),
               0.9866666667, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Cascade quality contract. Gate: an exact-rational token-Jaccard matcher
+// (integer ratios, no libm — stable across compilers like every other pin
+// here). Expensive: the 0/1 HeuristicIdMatcher. Two pins:
+//   1. exact_reference mode reproduces the expensive-only pipeline exactly;
+//   2. the real cascade's quality delta is a set of constants, not a hope —
+//      if a band change moves P/R, this fails loudly.
+// ---------------------------------------------------------------------------
+
+/// Token Jaccard of AllText: common/total is an exact ratio of small
+/// integers, so scores and band comparisons are bit-stable everywhere.
+class JaccardGateMatcher : public PairwiseMatcher {
+ public:
+  std::string name() const override { return "jaccard-gate"; }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    auto ta = Tokens(a);
+    auto tb = Tokens(b);
+    if (ta.empty() && tb.empty()) return 0.0;
+    size_t common = 0, ia = 0, ib = 0;
+    while (ia < ta.size() && ib < tb.size()) {
+      if (ta[ia] < tb[ib]) {
+        ++ia;
+      } else if (tb[ib] < ta[ia]) {
+        ++ib;
+      } else {
+        ++common;
+        ++ia;
+        ++ib;
+      }
+    }
+    const size_t total = ta.size() + tb.size() - common;
+    return static_cast<double>(common) /
+           static_cast<double>(total == 0 ? 1 : total);
+  }
+
+ private:
+  static std::vector<std::string> Tokens(const Record& rec) {
+    auto toks = TokenizeContentWords(rec.AllText());
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    return toks;
+  }
+};
+
+struct CascadeFixture {
+  FinancialBenchmark bench;
+  std::vector<Candidate> candidates;
+  PipelineConfig pipe_config;
+
+  CascadeFixture() {
+    SyntheticConfig config;
+    config.seed = 505;
+    config.num_groups = 250;
+    bench = FinancialGenerator(config).Generate();
+    CandidateSet set;
+    IdOverlapBlocker().AddCandidates(bench.securities, &set);
+    TokenOverlapBlocker::Options topts;
+    topts.top_n = 5;
+    TokenOverlapBlocker(topts).AddCandidates(bench.securities, &set);
+    candidates = set.ToVector();
+    pipe_config.cleanup.gamma = 25;
+    pipe_config.cleanup.mu = 5;
+    pipe_config.pre_cleanup_threshold = 50;
+  }
+};
+
+TEST(GoldenFinancial, CascadeExactReferenceReproducesExpensivePipeline) {
+  CascadeFixture fx;
+  HeuristicIdMatcher expensive;
+  JaccardGateMatcher gate;
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.7;
+  opts.exact_reference = true;
+  CascadeMatcher reference(&gate, &expensive, opts);
+
+  EntityGroupPipeline pipeline(fx.pipe_config);
+  PipelineResult expensive_only =
+      pipeline.Run(fx.bench.securities, fx.candidates, expensive);
+  PipelineResult cascaded =
+      pipeline.Run(fx.bench.securities, fx.candidates, reference);
+
+  // Bitwise: exact_reference mode exercises the gather/scatter machinery but
+  // must return the expensive matcher's scores for every pair.
+  EXPECT_EQ(cascaded.predicted_pairs, expensive_only.predicted_pairs);
+  EXPECT_EQ(cascaded.pre_cleanup_components,
+            expensive_only.pre_cleanup_components);
+  EXPECT_EQ(cascaded.groups, expensive_only.groups);
+
+  // The gate still ran over every candidate: the band counters are the
+  // pinned would-be cascade split of the 1863 candidates.
+  const CascadeMatcher::Stats stats = reference.stats();
+  EXPECT_EQ(stats.gate_resolved + stats.escalated, 1863u);
+  EXPECT_EQ(stats.escalated, 1243u);
+  EXPECT_EQ(stats.gate_resolved, 620u);
+}
+
+TEST(GoldenFinancial, CascadeQualityDeltaPinned) {
+  // The real cascade (same band) against the pinned expensive-only metrics
+  // of SecuritiesPipelineMetricsPinned: post tp 1195 / fp 26 / fn 400. The
+  // delta below IS the cascade contract on this fixture — the gate resolves
+  // 620 of the 1863 candidates on its own (only 1243 reach the expensive
+  // tier, a third fewer calls) at a cost of 4 tp (1195 -> 1191) while
+  // buying back 8 fp (26 -> 18).
+  CascadeFixture fx;
+  HeuristicIdMatcher expensive;
+  JaccardGateMatcher gate;
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.7;
+  CascadeMatcher cascade(&gate, &expensive, opts);
+
+  PipelineResult result = EntityGroupPipeline(fx.pipe_config)
+                              .Run(fx.bench.securities, fx.candidates, cascade);
+
+  const CascadeMatcher::Stats stats = cascade.stats();
+  EXPECT_EQ(stats.escalated, 1243u);
+  EXPECT_EQ(stats.gate_resolved, 620u);
+
+  EXPECT_EQ(result.predicted_pairs.size(), 1209u);
+  EXPECT_EQ(result.groups.size(), 522u);
+
+  const PrfMetrics post = GroupPrf(result.groups, fx.bench.securities.truth);
+  EXPECT_EQ(post.tp, 1191u);
+  EXPECT_EQ(post.fp, 18u);
+  EXPECT_EQ(post.fn, 404u);
+
+  // Re-derivation printout (see file header):
+  std::printf(
+      "cascade: escalated=%llu gate_resolved=%llu pairs=%zu groups=%zu "
+      "tp=%zu fp=%zu fn=%zu\n",
+      static_cast<unsigned long long>(stats.escalated),
+      static_cast<unsigned long long>(stats.gate_resolved),
+      result.predicted_pairs.size(), result.groups.size(),
+      static_cast<size_t>(post.tp), static_cast<size_t>(post.fp),
+      static_cast<size_t>(post.fn));
 }
 
 TEST(GoldenWdc, PerfectPredictionsCleanupMetricsPinned) {

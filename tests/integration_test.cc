@@ -13,7 +13,9 @@
 #include "datagen/wdc_gen.h"
 #include "eval/metrics.h"
 #include "matching/baselines.h"
+#include "matching/cascade_matcher.h"
 #include "matching/pair_sampling.h"
+#include "matching/transformer_matcher.h"
 
 namespace gralmatch {
 namespace {
@@ -199,6 +201,101 @@ TEST_F(FinancialEndToEnd, PipelineIdenticalAcrossThreadCounts) {
     ExpectSameCountersAs(result.cleanup_stats, baseline.cleanup_stats);
     EXPECT_GT(result.inference_seconds, 0.0) << "threads=" << threads;
   }
+}
+
+/// Forwarding wrapper that deliberately does NOT override ScoreBatch, so it
+/// scores through the default per-pair loop — the reference side of the
+/// batched-vs-per-pair differential tests.
+class PerPairOnlyMatcher : public PairwiseMatcher {
+ public:
+  explicit PerPairOnlyMatcher(const PairwiseMatcher* inner) : inner_(inner) {}
+  std::string name() const override { return inner_->name(); }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    return inner_->MatchProbability(a, b);
+  }
+  std::string Fingerprint() const override { return inner_->Fingerprint(); }
+
+ private:
+  const PairwiseMatcher* inner_;
+};
+
+TEST_F(FinancialEndToEnd, BatchedTransformerScoringIdenticalToPerPair) {
+  // The batched scoring path (ScorePairsBatched -> TransformerMatcher::
+  // ScoreBatch -> packed PredictBatch) must reproduce the per-pair walk
+  // bitwise for every thread count and batch size: identical predicted
+  // pairs, components, groups and counters.
+  CandidateSet candidates = CompanyCandidates();
+  auto candidate_vec = candidates.ToVector();
+  ASSERT_GT(candidate_vec.size(), 400u);
+  candidate_vec.resize(400);  // keep the transformer sweep fast
+
+  TransformerMatcherConfig tconfig;
+  tconfig.max_seq_len = 16;
+  tconfig.d_model = 16;
+  tconfig.num_layers = 1;
+  tconfig.d_ff = 32;
+  TransformerMatcher transformer(tconfig);
+  transformer.BuildVocab(bench_->companies.records);
+  PerPairOnlyMatcher per_pair(&transformer);
+
+  PipelineConfig config;
+  config.pre_cleanup_threshold = 50;
+  config.score_batch_size = 1;
+  PipelineResult baseline = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, per_pair);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t batch : {1u, 7u, 64u}) {
+      config.num_threads = threads;
+      config.score_batch_size = batch;
+      PipelineResult result = EntityGroupPipeline(config).Run(
+          bench_->companies, candidate_vec, transformer);
+      EXPECT_EQ(result.predicted_pairs, baseline.predicted_pairs)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(result.pre_cleanup_components, baseline.pre_cleanup_components)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(result.groups, baseline.groups)
+          << "threads=" << threads << " batch=" << batch;
+      ExpectSameCountersAs(result.cleanup_stats, baseline.cleanup_stats);
+    }
+  }
+}
+
+TEST_F(FinancialEndToEnd, CascadePipelineMatchesExactReferenceOutsideTheBand) {
+  // A cascade whose band never fires behaves exactly like its expensive
+  // matcher inside the full pipeline (gate scores are in [0,1]; an empty
+  // band [0.4, 0.3] escalates nothing, exact_reference escalates all).
+  CandidateSet candidates = CompanyCandidates();
+  auto candidate_vec = candidates.ToVector();
+
+  HeuristicIdMatcher expensive;
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.4;
+  opts.upper_threshold = 0.3;  // empty band: gate resolves everything
+  CascadeMatcher gate_only(matcher_, &expensive, opts);
+  opts.exact_reference = true;
+  CascadeMatcher reference(matcher_, &expensive, opts);
+
+  PipelineConfig config;
+  config.pre_cleanup_threshold = 50;
+  PipelineResult expensive_result = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, expensive);
+  PipelineResult reference_result = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, reference);
+  PipelineResult gate_result = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, *matcher_);
+  PipelineResult gate_only_result = EntityGroupPipeline(config).Run(
+      bench_->companies, candidate_vec, gate_only);
+
+  // exact_reference == the expensive matcher alone; empty band == the gate.
+  EXPECT_EQ(reference_result.predicted_pairs, expensive_result.predicted_pairs);
+  EXPECT_EQ(reference_result.groups, expensive_result.groups);
+  EXPECT_EQ(gate_only_result.predicted_pairs, gate_result.predicted_pairs);
+  EXPECT_EQ(gate_only_result.groups, gate_result.groups);
+  EXPECT_EQ(gate_only.stats().escalated, 0u);
+  EXPECT_EQ(gate_only.stats().gate_resolved, candidate_vec.size());
+  EXPECT_EQ(reference.stats().escalated + reference.stats().gate_resolved,
+            candidate_vec.size());
 }
 
 TEST_F(FinancialEndToEnd, BlockersIdenticalAcrossThreadCounts) {

@@ -8,6 +8,7 @@
 
 #include "data/dataset.h"
 #include "matching/baselines.h"
+#include "matching/cascade_matcher.h"
 #include "matching/pair_sampling.h"
 #include "matching/serializer.h"
 #include "matching/transformer_matcher.h"
@@ -336,6 +337,210 @@ TEST(TransformerMatcherTest, LoadFromMissingDirFails) {
   TransformerMatcherConfig config;
   TransformerMatcher matcher(config);
   EXPECT_FALSE(matcher.Load("/nonexistent/model/dir").ok());
+}
+
+// --- CascadeMatcher -------------------------------------------------------
+
+/// Deterministic test matcher: the score of a pair is record a's "p" field
+/// (exact decimal fractions, no libm), so each test pair's gate score is
+/// chosen directly. Counts how its pairs were scored.
+class FieldScoreMatcher : public PairwiseMatcher {
+ public:
+  explicit FieldScoreMatcher(std::string display) : display_(std::move(display)) {}
+  std::string name() const override { return display_; }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    (void)b;
+    ++probability_calls;
+    return std::stod(std::string(a.Get("p")));
+  }
+  void ScoreBatch(const RecordTable& records, Span<const RecordPair> pairs,
+                  Span<double> out) const override {
+    ++batch_calls;
+    batch_pairs_scored += pairs.size();
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = std::stod(std::string(records.at(pairs[i].a).Get("p")));
+    }
+  }
+  std::string Fingerprint() const override { return "field|" + display_; }
+
+  mutable size_t probability_calls = 0;
+  mutable size_t batch_calls = 0;
+  mutable size_t batch_pairs_scored = 0;
+
+ private:
+  std::string display_;
+};
+
+/// Records (2i, 2i+1) per pair; record 2i carries the gate score in "p" and
+/// record 2i+1 an unrelated value the expensive matcher never sees (both
+/// matchers read the pair's `a` record, which is always the even id).
+struct CascadeFixture {
+  RecordTable records;
+  std::vector<RecordPair> pairs;
+
+  explicit CascadeFixture(const std::vector<const char*>& gate_scores) {
+    for (const char* score : gate_scores) {
+      Record r1(0, RecordKind::kCompany);
+      r1.Set("p", score);
+      Record r2(1, RecordKind::kCompany);
+      r2.Set("p", "0.0");
+      RecordId a = records.Add(std::move(r1));
+      RecordId b = records.Add(std::move(r2));
+      pairs.push_back(RecordPair(a, b));
+    }
+  }
+};
+
+TEST(CascadeMatcherTest, BandSemantics) {
+  // Band [0.25, 0.75]: 0.1 and 0.9 are gate-resolved, the rest escalate —
+  // including both inclusive endpoints.
+  CascadeFixture fx({"0.1", "0.25", "0.5", "0.75", "0.9"});
+  FieldScoreMatcher gate("gate");
+  HeuristicIdMatcher expensive;  // no identifiers anywhere -> always 0.0
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.75;
+  CascadeMatcher cascade(&gate, &expensive, opts);
+
+  const std::vector<double> expected = {0.1, 0.0, 0.0, 0.0, 0.9};
+  for (size_t i = 0; i < fx.pairs.size(); ++i) {
+    EXPECT_EQ(cascade.MatchProbability(fx.records.at(fx.pairs[i].a),
+                                       fx.records.at(fx.pairs[i].b)),
+              expected[i])
+        << "pair " << i;
+  }
+  CascadeMatcher::Stats stats = cascade.stats();
+  EXPECT_EQ(stats.gate_resolved, 2u);
+  EXPECT_EQ(stats.escalated, 3u);
+
+  cascade.ResetStats();
+  stats = cascade.stats();
+  EXPECT_EQ(stats.gate_resolved, 0u);
+  EXPECT_EQ(stats.escalated, 0u);
+}
+
+TEST(CascadeMatcherTest, ScoreBatchMatchesPerPairBitwise) {
+  CascadeFixture fx({"0.0", "0.125", "0.25", "0.375", "0.5", "0.625", "0.75",
+                     "0.875", "1.0"});
+  FieldScoreMatcher gate("gate");
+  HeuristicIdMatcher expensive;
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.75;
+  CascadeMatcher batched(&gate, &expensive, opts);
+  CascadeMatcher per_pair(&gate, &expensive, opts);
+
+  std::vector<double> batch_scores(fx.pairs.size(), -1.0);
+  batched.ScoreBatch(fx.records,
+                     Span<const RecordPair>(fx.pairs.data(), fx.pairs.size()),
+                     Span<double>(batch_scores.data(), batch_scores.size()));
+  for (size_t i = 0; i < fx.pairs.size(); ++i) {
+    const double single = per_pair.MatchProbability(
+        fx.records.at(fx.pairs[i].a), fx.records.at(fx.pairs[i].b));
+    EXPECT_EQ(batch_scores[i], single) << "pair " << i;
+  }
+  // Identical counter trajectories through either path.
+  EXPECT_EQ(batched.stats().gate_resolved, per_pair.stats().gate_resolved);
+  EXPECT_EQ(batched.stats().escalated, per_pair.stats().escalated);
+}
+
+TEST(CascadeMatcherTest, ScoreBatchEscalatesOnlyTheBand) {
+  CascadeFixture fx({"0.1", "0.5", "0.9", "0.5", "0.1"});
+  FieldScoreMatcher gate("gate");
+  FieldScoreMatcher expensive("expensive");
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.75;
+  CascadeMatcher cascade(&gate, &expensive, opts);
+
+  std::vector<double> scores(fx.pairs.size(), -1.0);
+  cascade.ScoreBatch(fx.records,
+                     Span<const RecordPair>(fx.pairs.data(), fx.pairs.size()),
+                     Span<double>(scores.data(), scores.size()));
+  // One gate batch over all five pairs, one expensive batch over exactly the
+  // two in-band pairs — the whole point of the cascade.
+  EXPECT_EQ(gate.batch_calls, 1u);
+  EXPECT_EQ(gate.batch_pairs_scored, 5u);
+  EXPECT_EQ(expensive.batch_calls, 1u);
+  EXPECT_EQ(expensive.batch_pairs_scored, 2u);
+  EXPECT_EQ(cascade.stats().escalated, 2u);
+  EXPECT_EQ(cascade.stats().gate_resolved, 3u);
+}
+
+TEST(CascadeMatcherTest, ExactReferenceReproducesExpensiveBitwise) {
+  CascadeFixture fx({"0.1", "0.5", "0.9"});
+  FieldScoreMatcher gate("gate");
+  HeuristicIdMatcher expensive;
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.25;
+  opts.upper_threshold = 0.75;
+  opts.exact_reference = true;
+  CascadeMatcher cascade(&gate, &expensive, opts);
+
+  std::vector<double> scores(fx.pairs.size(), -1.0);
+  cascade.ScoreBatch(fx.records,
+                     Span<const RecordPair>(fx.pairs.data(), fx.pairs.size()),
+                     Span<double>(scores.data(), scores.size()));
+  for (size_t i = 0; i < fx.pairs.size(); ++i) {
+    EXPECT_EQ(scores[i],
+              expensive.MatchProbability(fx.records.at(fx.pairs[i].a),
+                                         fx.records.at(fx.pairs[i].b)));
+  }
+  // The gate still ran and the stats still describe the would-be cascade.
+  EXPECT_EQ(cascade.stats().gate_resolved, 2u);
+  EXPECT_EQ(cascade.stats().escalated, 1u);
+
+  // Per-pair path agrees with the batch path in reference mode too.
+  CascadeMatcher per_pair(&gate, &expensive, opts);
+  for (size_t i = 0; i < fx.pairs.size(); ++i) {
+    EXPECT_EQ(per_pair.MatchProbability(fx.records.at(fx.pairs[i].a),
+                                        fx.records.at(fx.pairs[i].b)),
+              scores[i]);
+  }
+}
+
+TEST(CascadeMatcherTest, FingerprintCoversThresholdsModeAndInners) {
+  FieldScoreMatcher gate("gate");
+  FieldScoreMatcher other_gate("other-gate");
+  HeuristicIdMatcher expensive;
+  CascadeMatcher::Options base;
+  base.lower_threshold = 0.25;
+  base.upper_threshold = 0.75;
+
+  CascadeMatcher reference(&gate, &expensive, base);
+  CascadeMatcher same(&gate, &expensive, base);
+  // Equal configuration => equal fingerprint (cache hits stay possible).
+  EXPECT_EQ(reference.Fingerprint(), same.Fingerprint());
+
+  // Any knob that can move a score must change the fingerprint (the
+  // matcher.h contract): lower threshold, upper threshold, reference mode,
+  // either inner matcher.
+  CascadeMatcher::Options lower = base;
+  lower.lower_threshold = 0.2;
+  EXPECT_NE(CascadeMatcher(&gate, &expensive, lower).Fingerprint(),
+            reference.Fingerprint());
+
+  CascadeMatcher::Options upper = base;
+  upper.upper_threshold = 0.8;
+  EXPECT_NE(CascadeMatcher(&gate, &expensive, upper).Fingerprint(),
+            reference.Fingerprint());
+
+  CascadeMatcher::Options ref_mode = base;
+  ref_mode.exact_reference = true;
+  EXPECT_NE(CascadeMatcher(&gate, &expensive, ref_mode).Fingerprint(),
+            reference.Fingerprint());
+
+  EXPECT_NE(CascadeMatcher(&other_gate, &expensive, base).Fingerprint(),
+            reference.Fingerprint());
+  EXPECT_NE(CascadeMatcher(&gate, &gate, base).Fingerprint(),
+            reference.Fingerprint());
+}
+
+TEST(CascadeMatcherTest, NameDescribesBothTiers) {
+  FieldScoreMatcher gate("gate");
+  HeuristicIdMatcher expensive;
+  CascadeMatcher cascade(&gate, &expensive, {});
+  EXPECT_EQ(cascade.name(), "Cascade(gate->" + expensive.name() + ")");
 }
 
 }  // namespace

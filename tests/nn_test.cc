@@ -352,5 +352,65 @@ TEST(TrainerTest, BestEpochRestored) {
   EXPECT_GT(result.train_seconds, 0.0);
 }
 
+// --- Batched inference (PredictBatch) -------------------------------------
+// The ScoreBatch/PredictBatch contract is bitwise: row s of the packed
+// forward must be bit-for-bit the single-sequence Predict(inputs[s]).
+
+/// Mixed-length fixture, including a sequence longer than max_seq_len (6)
+/// that the model must truncate and segment/shared-annotated sequences.
+std::vector<EncodedSequence> MixedSequences() {
+  std::vector<EncodedSequence> inputs;
+  inputs.push_back({{2, 6, 7, 3}, {}, {}});
+  inputs.push_back({{2, 9}, {}, {}});
+  inputs.push_back({{2, 6, 9, 3, 9, 7}, {0, 0, 0, 1, 1, 1}, {0, 1, 0, 0, 1, 0}});
+  inputs.push_back({std::vector<int32_t>(100, 6), {}, {}});  // truncated
+  inputs.push_back({{5}, {}, {}});
+  return inputs;
+}
+
+TEST(TransformerTest, PredictBatchBitwiseEqualsPredict) {
+  TransformerClassifier model(TinyConfig());
+  const std::vector<EncodedSequence> inputs = MixedSequences();
+  const Matrix probs =
+      model.PredictBatch(Span<const EncodedSequence>(inputs.data(), inputs.size()));
+  ASSERT_EQ(probs.rows(), inputs.size());
+  ASSERT_EQ(probs.cols(), 2u);
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    const std::vector<float> single = model.Predict(inputs[s]);
+    for (size_t c = 0; c < 2; ++c) {
+      // EXPECT_EQ, not NEAR: batching must not change a single bit.
+      EXPECT_EQ(probs.at(s, c), single[c]) << "sequence " << s << " class " << c;
+    }
+  }
+}
+
+TEST(TransformerTest, PredictBatchIndependentOfBatchSplit) {
+  TransformerClassifier model(TinyConfig());
+  const std::vector<EncodedSequence> inputs = MixedSequences();
+  const Matrix all =
+      model.PredictBatch(Span<const EncodedSequence>(inputs.data(), inputs.size()));
+  // Every contiguous two-way split reproduces the full-batch rows exactly.
+  for (size_t cut = 0; cut <= inputs.size(); ++cut) {
+    const Matrix lo = model.PredictBatch(
+        Span<const EncodedSequence>(inputs.data(), cut));
+    const Matrix hi = model.PredictBatch(
+        Span<const EncodedSequence>(inputs.data() + cut, inputs.size() - cut));
+    for (size_t s = 0; s < inputs.size(); ++s) {
+      const Matrix& part = s < cut ? lo : hi;
+      const size_t r = s < cut ? s : s - cut;
+      for (size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(all.at(s, c), part.at(r, c))
+            << "cut " << cut << " sequence " << s;
+      }
+    }
+  }
+}
+
+TEST(TransformerTest, PredictBatchEmptyBatch) {
+  TransformerClassifier model(TinyConfig());
+  const Matrix probs = model.PredictBatch(Span<const EncodedSequence>());
+  EXPECT_EQ(probs.rows(), 0u);
+}
+
 }  // namespace
 }  // namespace gralmatch

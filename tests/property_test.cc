@@ -22,7 +22,10 @@
 #include "eval/metrics.h"
 #include "eval/pr_curve.h"
 #include "exec/thread_pool.h"
+#include "matching/baselines.h"
+#include "matching/cascade_matcher.h"
 #include "matching/serializer.h"
+#include "matching/transformer_matcher.h"
 #include "matching/variants.h"
 
 namespace gralmatch {
@@ -660,6 +663,119 @@ TEST(UnionFindTest, ResetRestoresSingletons) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
                          ::testing::Values(5u, 77u, 901u, 12345u));
+
+// ---------------------------------------------------------------------------
+// ScoreBatch batching invariance: for every matcher, any random split of a
+// pair set into batches is bitwise-identical to per-pair MatchProbability —
+// the contract in matching/matcher.h. Runs under both kernel builds (the
+// scalar-kernels CI leg recompiles with -DGRALMATCH_SIMD=OFF), so it also
+// pins that the SIMD annotations never reassociate a result.
+// ---------------------------------------------------------------------------
+
+class ScoreBatchPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.seed = 71;
+    config.num_groups = 40;
+    records_ = FinancialGenerator(config).Generate().companies.records;
+    Rng rng(GetParam());
+    const RecordId n = static_cast<RecordId>(records_.size());
+    for (size_t i = 0; i < 60; ++i) {
+      RecordId a = static_cast<RecordId>(rng.Uniform(n));
+      RecordId b = static_cast<RecordId>(rng.Uniform(n));
+      if (a == b) b = (b + 1) % n;
+      pairs_.push_back(RecordPair(a, b));
+    }
+  }
+
+  /// Bitwise comparison of ScoreBatch under a random batch split against a
+  /// per-pair MatchProbability walk.
+  void ExpectBatchingInvariant(const PairwiseMatcher& matcher) {
+    std::vector<double> reference(pairs_.size());
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      reference[i] = matcher.MatchProbability(records_.at(pairs_[i].a),
+                                              records_.at(pairs_[i].b));
+    }
+    // One whole-set batch, then random contiguous splits.
+    std::vector<double> whole(pairs_.size(), -1.0);
+    matcher.ScoreBatch(records_,
+                       Span<const RecordPair>(pairs_.data(), pairs_.size()),
+                       Span<double>(whole.data(), whole.size()));
+    for (size_t i = 0; i < pairs_.size(); ++i) {
+      ASSERT_EQ(whole[i], reference[i]) << matcher.name() << " pair " << i;
+    }
+    Rng rng(GetParam() ^ 0xbeef);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<double> split(pairs_.size(), -1.0);
+      size_t begin = 0;
+      while (begin < pairs_.size()) {
+        const size_t count =
+            std::min<size_t>(1 + rng.Uniform(9), pairs_.size() - begin);
+        matcher.ScoreBatch(
+            records_, Span<const RecordPair>(pairs_.data() + begin, count),
+            Span<double>(split.data() + begin, count));
+        begin += count;
+      }
+      for (size_t i = 0; i < pairs_.size(); ++i) {
+        ASSERT_EQ(split[i], reference[i])
+            << matcher.name() << " round " << round << " pair " << i;
+      }
+    }
+  }
+
+  RecordTable records_;
+  std::vector<RecordPair> pairs_;
+};
+
+TEST_P(ScoreBatchPropertyTest, HeuristicIdMatcher) {
+  HeuristicIdMatcher matcher;
+  ExpectBatchingInvariant(matcher);
+}
+
+TEST_P(ScoreBatchPropertyTest, TrainedTfidfLogReg) {
+  std::vector<LabeledPair> train;
+  Rng rng(GetParam() ^ 0x7777);
+  for (size_t i = 0; i + 1 < records_.size() && train.size() < 40; i += 2) {
+    train.push_back({RecordPair(static_cast<RecordId>(i),
+                                static_cast<RecordId>(i + 1)),
+                     rng.Bernoulli(0.5) ? 1 : 0});
+  }
+  TfidfLogRegMatcher matcher;
+  matcher.Train(records_, train);
+  ExpectBatchingInvariant(matcher);
+}
+
+TEST_P(ScoreBatchPropertyTest, TransformerPackedForward) {
+  TransformerMatcherConfig config;
+  config.max_seq_len = 24;  // keep the sweep fast; truncation is exercised
+  TransformerMatcher matcher(config);
+  matcher.BuildVocab(records_);  // untrained weights score deterministically
+  ExpectBatchingInvariant(matcher);
+}
+
+TEST_P(ScoreBatchPropertyTest, CascadeOverTransformer) {
+  TfidfLogRegMatcher gate;
+  std::vector<LabeledPair> train;
+  for (size_t i = 0; i + 1 < records_.size() && train.size() < 20; i += 2) {
+    train.push_back({RecordPair(static_cast<RecordId>(i),
+                                static_cast<RecordId>(i + 1)),
+                     i % 4 == 0 ? 1 : 0});
+  }
+  gate.Train(records_, train);
+  TransformerMatcherConfig config;
+  config.max_seq_len = 24;
+  TransformerMatcher expensive(config);
+  expensive.BuildVocab(records_);
+  CascadeMatcher::Options opts;
+  opts.lower_threshold = 0.3;
+  opts.upper_threshold = 0.7;
+  CascadeMatcher cascade(&gate, &expensive, opts);
+  ExpectBatchingInvariant(cascade);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreBatchPropertyTest,
+                         ::testing::Values(3u, 42u, 1001u));
 
 }  // namespace
 }  // namespace gralmatch

@@ -406,6 +406,95 @@ TEST_F(FinancialShard, SingletonBatchesEquivalent) {
                           /*check_every=*/50);
 }
 
+/// Jaccard wrapper overriding ScoreBatch (the default loops
+/// MatchProbability): pins that shard-parallel scoring feeds the matcher
+/// real batches and that the batched path is equivalent to per-pair.
+class BatchingJaccardMatcher : public PairwiseMatcher {
+ public:
+  explicit BatchingJaccardMatcher(const JaccardMatcher* inner)
+      : inner_(inner) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::string Fingerprint() const override { return inner_->Fingerprint(); }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++single_calls_;
+    }
+    return inner_->MatchProbability(a, b);
+  }
+  void ScoreBatch(const RecordTable& records, Span<const RecordPair> pairs,
+                  Span<double> out) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batch_calls_;
+      batched_pairs_ += pairs.size();
+      max_batch_ = std::max(max_batch_, pairs.size());
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = inner_->MatchProbability(records.at(pairs[i].a),
+                                        records.at(pairs[i].b));
+    }
+  }
+
+  size_t single_calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return single_calls_;
+  }
+  size_t batched_pairs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batched_pairs_;
+  }
+  size_t max_batch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_batch_;
+  }
+
+ private:
+  const JaccardMatcher* inner_;
+  mutable std::mutex mu_;
+  mutable size_t single_calls_ = 0;
+  mutable size_t batch_calls_ = 0;
+  mutable size_t batched_pairs_ = 0;
+  mutable size_t max_batch_ = 0;
+};
+
+TEST_F(FinancialShard, BatchedScoringEquivalentAcrossThreadsAndBatchSizes) {
+  // S=2 sharded pipeline with a ScoreBatch-overriding matcher: every
+  // thread count and batch size must reproduce the serial per-pair batch
+  // reference exactly, with all scoring routed through the override.
+  JaccardMatcher inner;
+  ShardedPipelineConfig reference_config = ShardConfig(2, 1, 0.25);
+  reference_config.base.pipeline.score_batch_size = 1;
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t batch_size : {1u, 7u, 64u}) {
+      BatchingJaccardMatcher batching(&inner);
+      ShardedPipelineConfig config = ShardConfig(2, threads, 0.25);
+      config.base.pipeline.score_batch_size = batch_size;
+      ShardedPipeline sharded(config);
+      size_t offset = 0;
+      for (size_t size : EqualBatches(records_->size(), 4)) {
+        std::vector<Record> batch(
+            records_->begin() + static_cast<long>(offset),
+            records_->begin() + static_cast<long>(offset + size));
+        ASSERT_TRUE(sharded.Ingest(batch, batching).ok());
+        offset += size;
+      }
+      const std::string context = "threads=" + std::to_string(threads) +
+                                  " batch_size=" + std::to_string(batch_size);
+      ExpectEquivalent(
+          sharded.Snapshot().ValueOrDie(),
+          RunBatchReference(sharded.records(), reference_config.base, inner),
+          context);
+      EXPECT_EQ(batching.single_calls(), 0u) << context;
+      EXPECT_EQ(batching.batched_pairs(), sharded.total_matcher_calls())
+          << context;
+      EXPECT_LE(batching.max_batch(), batch_size) << context;
+    }
+  }
+}
+
 TEST_F(FinancialShard, FingerprintSwapRescoresEveryShardAndStaysEquivalent) {
   JaccardMatcher matcher_v1(1.0);
   JaccardMatcher matcher_v2(1.4);

@@ -354,6 +354,129 @@ TEST_F(FinancialStream, ScoreCachePreventsMatcherReinvocation) {
   EXPECT_GT(result.groups.size(), 0u);
 }
 
+/// Jaccard wrapper that DOES override ScoreBatch (the default loops
+/// MatchProbability instead), recording how its pairs arrive. Lets the
+/// tests below pin both sides of the batching contract: the pipeline hands
+/// the matcher real multi-pair batches, and the scores that come back are
+/// identical to the per-pair walk.
+class BatchingJaccardMatcher : public PairwiseMatcher {
+ public:
+  explicit BatchingJaccardMatcher(const JaccardMatcher* inner)
+      : inner_(inner) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::string Fingerprint() const override { return inner_->Fingerprint(); }
+  double MatchProbability(const Record& a, const Record& b) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++single_calls_;
+    }
+    return inner_->MatchProbability(a, b);
+  }
+  void ScoreBatch(const RecordTable& records, Span<const RecordPair> pairs,
+                  Span<double> out) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batch_calls_;
+      batched_pairs_ += pairs.size();
+      max_batch_ = std::max(max_batch_, pairs.size());
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = inner_->MatchProbability(records.at(pairs[i].a),
+                                        records.at(pairs[i].b));
+    }
+  }
+
+  size_t single_calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return single_calls_;
+  }
+  size_t batch_calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_calls_;
+  }
+  size_t batched_pairs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batched_pairs_;
+  }
+  size_t max_batch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_batch_;
+  }
+
+ private:
+  const JaccardMatcher* inner_;
+  mutable std::mutex mu_;
+  mutable size_t single_calls_ = 0;
+  mutable size_t batch_calls_ = 0;
+  mutable size_t batched_pairs_ = 0;
+  mutable size_t max_batch_ = 0;
+};
+
+TEST_F(FinancialStream, BatchedScoringEquivalentAcrossThreadsAndBatchSizes) {
+  // Ingest with a ScoreBatch-overriding matcher at every thread count and
+  // several batch sizes; every snapshot must equal the per-pair reference
+  // (plain JaccardMatcher, score_batch_size=1, serial).
+  JaccardMatcher inner;
+  IncrementalPipelineConfig reference_config = StreamConfig(1, 0.25);
+  reference_config.pipeline.score_batch_size = 1;
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t batch_size : {1u, 7u, 64u}) {
+      BatchingJaccardMatcher batching(&inner);
+      IncrementalPipelineConfig config = StreamConfig(threads, 0.25);
+      config.pipeline.score_batch_size = batch_size;
+      IncrementalPipeline pipeline(config);
+      size_t offset = 0;
+      for (size_t size : EqualBatches(records_->size(), 4)) {
+        std::vector<Record> batch(
+            records_->begin() + static_cast<long>(offset),
+            records_->begin() + static_cast<long>(offset + size));
+        ASSERT_TRUE(pipeline.Ingest(batch, batching).ok());
+        offset += size;
+      }
+      const std::string context = "threads=" + std::to_string(threads) +
+                                  " batch_size=" + std::to_string(batch_size);
+      ExpectEquivalent(
+          pipeline.Snapshot().ValueOrDie(),
+          RunBatchReference(pipeline.records(), reference_config, inner),
+          context);
+      // All scoring went through the ScoreBatch override, and no batch
+      // exceeded the configured size.
+      EXPECT_EQ(batching.single_calls(), 0u) << context;
+      EXPECT_EQ(batching.batched_pairs(), pipeline.total_matcher_calls())
+          << context;
+      EXPECT_LE(batching.max_batch(), batch_size) << context;
+    }
+  }
+}
+
+TEST_F(FinancialStream, ScoreBatchCallAccountingReflectsChunking) {
+  // With score_batch_size=16 the matcher must see multi-pair batches: far
+  // fewer ScoreBatch calls than pairs, and exactly ceil(n/16) calls per
+  // scoring wave — pinned here via the total over a known schedule.
+  JaccardMatcher inner;
+  BatchingJaccardMatcher batching(&inner);
+  IncrementalPipelineConfig config = StreamConfig(1, 0.25);
+  config.pipeline.score_batch_size = 16;
+  IncrementalPipeline pipeline(config);
+  size_t expected_calls = 0;
+  size_t offset = 0;
+  for (size_t size : EqualBatches(records_->size(), 5)) {
+    std::vector<Record> batch(records_->begin() + static_cast<long>(offset),
+                              records_->begin() +
+                                  static_cast<long>(offset + size));
+    const size_t calls_before = batching.batched_pairs();
+    IngestReport report = pipeline.Ingest(batch, batching).ValueOrDie();
+    offset += size;
+    EXPECT_EQ(batching.batched_pairs() - calls_before, report.pairs_scored);
+    expected_calls += (report.pairs_scored + 15) / 16;
+  }
+  EXPECT_EQ(batching.batch_calls(), expected_calls);
+  EXPECT_GT(batching.batched_pairs(), batching.batch_calls());
+  EXPECT_EQ(batching.batched_pairs(), pipeline.total_matcher_calls());
+}
+
 TEST_F(FinancialStream, FingerprintChangeInvalidatesCacheAndStaysEquivalent) {
   JaccardMatcher matcher_v1(1.0);
   JaccardMatcher matcher_v2(1.4);

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Markdown hygiene checker for README.md, ROADMAP.md and docs/.
+
+Two layers, both stdlib-only so CI needs nothing beyond python3:
+
+1. Link check (always whole-tree): every relative link in the checked
+   files must point at an existing file, and every fragment (`#anchor`,
+   in-page or cross-page) must match a heading anchor in the target,
+   using GitHub's slugification rules. External links (http/https/mailto)
+   are not fetched — CI must not flake on the network.
+
+2. Lint (diff-scoped with --diff-base): markdownlint-style mechanical
+   rules — hard tabs, trailing whitespace (except the two-space line
+   break), missing final newline. With `--diff-base <ref>` only lines
+   added relative to that ref are flagged, so pre-existing text is
+   grandfathered; without it the whole file is linted.
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading, seen):
+    """GitHub anchor slug: lowercase, drop punctuation, spaces to hyphens,
+    then -1, -2, ... suffixes for duplicates."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def heading_anchors(path):
+    anchors, seen, in_fence = set(), {}, False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    return anchors
+
+
+def iter_links(path):
+    """Yield (line_number, target) for non-image links outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)  # ignore inline code
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def check_links(files, repo_root):
+    errors = []
+    anchor_cache = {}
+
+    def anchors_of(p):
+        if p not in anchor_cache:
+            anchor_cache[p] = heading_anchors(p)
+        return anchor_cache[p]
+
+    for path in files:
+        for lineno, target in iter_links(path):
+            if EXTERNAL_RE.match(target):
+                continue  # external: not fetched
+            raw, _, fragment = target.partition("#")
+            if raw:
+                dest = (path.parent / raw).resolve()
+                if not dest.exists():
+                    errors.append(
+                        f"{path.relative_to(repo_root)}:{lineno}: "
+                        f"broken link: {target} "
+                        f"(no such file: {raw})")
+                    continue
+            else:
+                dest = path  # pure in-page fragment
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors only checked in markdown
+                if fragment.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{path.relative_to(repo_root)}:{lineno}: "
+                        f"broken anchor: {target} "
+                        f"(no heading slugs to '#{fragment}' in "
+                        f"{dest.relative_to(repo_root)})")
+    return errors
+
+
+def added_lines(repo_root, base, path):
+    """Set of 1-based line numbers added in `path` relative to `base`."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--unified=0", base, "--",
+             str(path.relative_to(repo_root))],
+            cwd=repo_root, capture_output=True, text=True, check=True).stdout
+    except subprocess.CalledProcessError as exc:
+        sys.stderr.write(f"git diff failed: {exc.stderr}\n")
+        sys.exit(2)
+    lines = set()
+    for m in re.finditer(r"^@@ [^@]*\+(\d+)(?:,(\d+))? @@", out, re.M):
+        start = int(m.group(1))
+        count = int(m.group(2)) if m.group(2) is not None else 1
+        lines.update(range(start, start + count))
+    return lines
+
+
+def lint_file(path, repo_root, scope):
+    """scope=None lints everything; otherwise only line numbers in scope."""
+    findings = []
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if scope is not None and lineno not in scope:
+            continue
+        if "\t" in line:
+            findings.append(
+                f"{path.relative_to(repo_root)}:{lineno}: hard tab")
+        if line != line.rstrip() and not line.endswith("  "):
+            findings.append(
+                f"{path.relative_to(repo_root)}:{lineno}: "
+                "trailing whitespace")
+    if text and not text.endswith("\n") and (scope is None or lines and
+                                             len(lines) in scope):
+        findings.append(
+            f"{path.relative_to(repo_root)}:{len(lines)}: "
+            "no final newline")
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--diff-base", default=None,
+                        help="git ref: lint only lines added since this ref "
+                             "(links are always checked whole-tree)")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(args.repo_root).resolve()
+    files = [repo_root / "README.md", repo_root / "ROADMAP.md"]
+    files += sorted((repo_root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        sys.stderr.write("no markdown files found — wrong --repo-root?\n")
+        return 2
+
+    errors = check_links(files, repo_root)
+    for path in files:
+        scope = (added_lines(repo_root, args.diff_base, path)
+                 if args.diff_base else None)
+        if scope is not None and not scope:
+            continue
+        errors.extend(lint_file(path, repo_root, scope))
+
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"\n{len(errors)} finding(s) in "
+              f"{len(files)} file(s) checked.")
+        return 1
+    print(f"OK: {len(files)} markdown file(s) clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
