@@ -259,6 +259,56 @@ void BM_ShardedIngest(benchmark::State& state) {
 BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->ArgName("shards")
     ->Unit(benchmark::kMillisecond);
 
+// BM_CrudChurn measures steady-state corrections on a fully-ingested
+// pipeline: each round removes ~5% of the live records, updates another
+// ~5% (exact remove + re-add in one dirty pass), and snapshots. The
+// timed region starts after the initial ingest, so the rows price the
+// retraction path — candidate deltas, cache eviction, dirty-component
+// re-cleaning — rather than first-time scoring. Compare against the
+// BM_IncrementalIngest rows of the same artifact.
+void BM_CrudChurn(benchmark::State& state) {
+  const size_t rounds = static_cast<size_t>(state.range(0));
+  const std::vector<Record>& records = IncrementalBenchRecords();
+  HeuristicIdMatcher matcher;
+  for (auto _ : state) {
+    state.PauseTiming();
+    IncrementalPipeline pipeline(IncrementalBenchConfig());
+    pipeline.Ingest(records, matcher).ValueOrDie();
+    Rng rng(99);
+    state.ResumeTiming();
+    for (size_t round = 0; round < rounds; ++round) {
+      std::vector<RecordId> live;
+      for (size_t id = 0; id < pipeline.records().size(); ++id) {
+        if (pipeline.is_alive(static_cast<RecordId>(id))) {
+          live.push_back(static_cast<RecordId>(id));
+        }
+      }
+      const size_t churn = live.size() / 20 + 1;
+      for (size_t k = 0; k < 2 * churn; ++k) {
+        const size_t j = k + static_cast<size_t>(rng.Uniform(live.size() - k));
+        std::swap(live[k], live[j]);
+      }
+      std::vector<RecordId> removals(live.begin(),
+                                     live.begin() + static_cast<long>(churn));
+      std::sort(removals.begin(), removals.end());
+      std::vector<RecordUpdate> updates;
+      updates.reserve(churn);
+      for (size_t k = churn; k < 2 * churn; ++k) {
+        RecordUpdate update;
+        update.id = live[k];
+        update.record = records[rng.Uniform(records.size())];
+        updates.push_back(std::move(update));
+      }
+      pipeline.Remove(removals, matcher).ValueOrDie();
+      pipeline.Update(updates, matcher).ValueOrDie();
+      PipelineResult result = pipeline.Snapshot().ValueOrDie();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+BENCHMARK(BM_CrudChurn)->Arg(4)->Arg(16)->ArgName("rounds")
+    ->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Checkpointing and serving. BM_CheckpointSave/Load measure the in-memory
 // serialize/parse cost of a fully-ingested pipeline (file I/O excluded:

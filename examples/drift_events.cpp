@@ -5,9 +5,13 @@
 // (an acquisition whose identifier overwrites make one group only
 // transitively matchable, plus the false positive pairwise edge that glues
 // two groups together until GraLMatch removes it). After every ingest the
-// incremental pipeline reports how little it recomputed; at the end the
-// snapshot is checked against a from-scratch run of the batch pipeline —
-// the batch-equivalence guarantee of the stream module.
+// incremental pipeline reports how little it recomputed; the snapshot is
+// checked against a from-scratch run of the batch pipeline — the
+// batch-equivalence guarantee of the stream module. A final corrections
+// batch then retracts the false positive's source record via
+// Update/Remove and re-checks the snapshot against a from-scratch run on
+// the survivors: schedule equivalence, the CRUD extension of the same
+// guarantee.
 //
 //   ./examples/drift_events
 
@@ -173,5 +177,66 @@ int main() {
   std::printf("Matcher calls across all ingests: %zu (each pair scored at "
               "most once; cache hits: %zu)\n",
               pipeline.total_matcher_calls(), pipeline.total_cache_hits());
-  return equivalent ? 0 : 1;
+
+  // --- Batch 4: corrections. Source 1 retracts the spaced "Crowd Strike
+  // Platforms" spelling — a data-entry error, and the very name that fed
+  // Figure 4's false-positive edge — and republishes the fixed spelling;
+  // source 2 delists "Crowd street Properties". Updates are exact
+  // remove + re-add in one dirty pass; removals retract candidates
+  // exactly and evict the dead records' cached scores.
+  std::printf("\n=== Batch 4: corrections (update + removal) ===\n");
+  const size_t calls_before = pipeline.total_matcher_calls();
+  RecordUpdate correction;
+  correction.id = 1;
+  correction.record = MakeRecord(1, "CrowdStrike Platforms", "US318077DSIE");
+  PrintReport(pipeline.Update({correction}, matcher).ValueOrDie());
+  IngestReport removal = pipeline.Remove({6}, matcher).ValueOrDie();
+  std::printf("  remove: -%zu records, -%zu candidates, %zu cache "
+              "evictions\n",
+              removal.records_removed, removal.candidates_removed,
+              removal.cache_evictions);
+  std::printf("  matcher calls for both corrections: %zu — the corrected "
+              "record's pairs are new, every surviving pair came from the "
+              "cache\n",
+              pipeline.total_matcher_calls() - calls_before);
+  result = pipeline.Snapshot().ValueOrDie();
+  std::printf("Groups after the corrections (the corrected record re-enters "
+              "as #%zu and now token-matches its group directly; the false "
+              "edge no longer exists for cleanup to cut):\n",
+              pipeline.records().size() - 1);
+  PrintGroups(result);
+
+  // --- Schedule equivalence, the CRUD extension of the guarantee above:
+  // after updates and removals the reference is a from-scratch batch run
+  // on the *survivors*. Compact the live records, run the batch pipeline,
+  // and map its compact ids back to the sparse live ids (the map is
+  // monotone, so pair and group orderings are preserved).
+  Dataset survivors;
+  std::vector<RecordId> original;
+  for (size_t id = 0; id < pipeline.records().size(); ++id) {
+    if (!pipeline.is_alive(static_cast<RecordId>(id))) continue;
+    original.push_back(static_cast<RecordId>(id));
+    survivors.records.Add(pipeline.records().at(static_cast<RecordId>(id)));
+  }
+  CandidateSet survivor_candidates;
+  IdOverlapBlocker().AddCandidates(survivors, &survivor_candidates);
+  TokenOverlapBlocker(config.token).AddCandidates(survivors,
+                                                  &survivor_candidates);
+  PipelineResult survivor_reference =
+      EntityGroupPipeline(config.pipeline)
+          .Run(survivors, survivor_candidates.ToVector(), matcher);
+  for (RecordPair& pair : survivor_reference.predicted_pairs) {
+    pair = RecordPair(original[static_cast<size_t>(pair.a)],
+                      original[static_cast<size_t>(pair.b)]);
+  }
+  for (auto& group : survivor_reference.groups) {
+    for (NodeId& id : group) id = original[static_cast<size_t>(id)];
+  }
+  const bool schedule_equivalent =
+      result.predicted_pairs == survivor_reference.predicted_pairs &&
+      result.groups == survivor_reference.groups;
+  std::printf("\nSnapshot == from-scratch run on the survivors: %s\n",
+              schedule_equivalent ? "yes (schedule equivalence holds)"
+                                  : "NO — BUG");
+  return (equivalent && schedule_equivalent) ? 0 : 1;
 }

@@ -194,8 +194,11 @@ CandidateDelta IncrementalTokenOverlapIndex::AddPublishedRecords(
     }
   }
   num_records_ = new_n;
+  num_live_ += new_tokens.size();
+  // The df cap is a fraction of the *live* record count: a from-scratch run
+  // on the survivors never sees the retracted records at all.
   max_df_ = static_cast<uint32_t>(options_.max_token_df *
-                                  static_cast<double>(new_n)) +
+                                  static_cast<double>(num_live_)) +
             1;
 
   // Dirty records: the new records, plus holders of any token whose
@@ -244,6 +247,105 @@ CandidateDelta IncrementalTokenOverlapIndex::AddPublishedRecords(
     old_ref.emplace(pair, count);  // snapshot the pre-batch value once
     count = static_cast<uint32_t>(static_cast<int>(count) + delta);
   };
+  for (size_t k = 0; k < dirty_ids.size(); ++k) {
+    const RecordId i = dirty_ids[k];
+    const auto& before = kept_[static_cast<size_t>(i)];
+    const auto& after = new_kept[k];
+    for (RecordId o : before) {
+      if (std::find(after.begin(), after.end(), o) == after.end()) {
+        bump(RecordPair(i, o), -1);
+      }
+    }
+    for (RecordId o : after) {
+      if (std::find(before.begin(), before.end(), o) == before.end()) {
+        bump(RecordPair(i, o), +1);
+      }
+    }
+    kept_[static_cast<size_t>(i)] = std::move(new_kept[k]);
+  }
+  return FinalizeDelta(old_ref, &refcount_);
+}
+
+CandidateDelta IncrementalTokenOverlapIndex::RemoveRecords(
+    const RecordTable& records, const std::vector<RecordId>& removed_ids,
+    ThreadPool* pool) {
+  if (removed_ids.empty()) return {};
+  std::vector<char> removed(num_records_, 0);
+  for (RecordId r : removed_ids) removed[static_cast<size_t>(r)] = 1;
+
+  // Release the removed records' tokens: each df drops, its df-bucket
+  // membership moves, and the record leaves the postings (which therefore
+  // keep listing exactly the live holders). `old_df` snapshots each touched
+  // token's pre-removal df once.
+  const uint32_t old_max_df = max_df_;
+  std::unordered_map<int32_t, uint32_t> old_df;
+  for (RecordId r : removed_ids) {
+    for (int32_t tid : record_tokens_[static_cast<size_t>(r)]) {
+      TokenInfo& info = tokens_[static_cast<size_t>(tid)];
+      old_df.emplace(tid, info.df);
+      df_buckets_[info.df].erase(tid);
+      --info.df;
+      if (info.df > 0) df_buckets_[info.df].insert(tid);
+      info.postings.erase(
+          std::remove(info.postings.begin(), info.postings.end(), r),
+          info.postings.end());
+    }
+  }
+  num_live_ -= removed_ids.size();
+  max_df_ = static_cast<uint32_t>(options_.max_token_df *
+                                  static_cast<double>(num_live_)) +
+            1;
+
+  // Dirty records: live holders of any token whose postings or eligibility
+  // changed. The cap falls with the live count, so untouched tokens with df
+  // in (new cap, old cap] drop *out* of eligibility — the mirror image of
+  // the rising-cap re-admission scan in AddPublishedRecords.
+  std::vector<char> dirty(num_records_, 0);
+  auto mark_holders = [&](int32_t tid) {
+    for (RecordId r : tokens_[static_cast<size_t>(tid)].postings) {
+      dirty[static_cast<size_t>(r)] = 1;
+    }
+  };
+  for (const auto& [tid, df_before] : old_df) {
+    const uint32_t df_now = tokens_[static_cast<size_t>(tid)].df;
+    const bool was_eligible = df_before >= 2 && df_before <= old_max_df;
+    const bool is_eligible = df_now >= 2 && df_now <= max_df_;
+    if (was_eligible || is_eligible) mark_holders(tid);
+  }
+  for (uint32_t d = max_df_ + 1; d <= old_max_df; ++d) {
+    auto bucket = df_buckets_.find(d);
+    if (bucket == df_buckets_.end()) continue;
+    for (int32_t tid : bucket->second) {
+      if (!old_df.count(tid)) mark_holders(tid);
+    }
+  }
+
+  std::vector<RecordId> dirty_ids;
+  for (size_t r = 0; r < num_records_; ++r) {
+    if (dirty[r]) dirty_ids.push_back(static_cast<RecordId>(r));
+  }
+  std::vector<std::vector<RecordId>> new_kept(dirty_ids.size());
+  ParallelFor(
+      pool, 0, dirty_ids.size(),
+      [&](size_t k) { new_kept[k] = RankRecord(records, dirty_ids[k]); },
+      /*grain=*/4);
+
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_ref;
+  auto bump = [&](const RecordPair& pair, int delta) {
+    uint32_t& count = refcount_[pair];
+    old_ref.emplace(pair, count);
+    count = static_cast<uint32_t>(static_cast<int>(count) + delta);
+  };
+  // The removed records' own kept-lists retract wholesale; any live record
+  // keeping a removed one shares a (touched, previously eligible) token with
+  // it, so it is dirty and its re-ranking retracts the other half.
+  for (RecordId r : removed_ids) {
+    for (RecordId o : kept_[static_cast<size_t>(r)]) {
+      bump(RecordPair(r, o), -1);
+    }
+    kept_[static_cast<size_t>(r)].clear();
+    record_tokens_[static_cast<size_t>(r)].clear();
+  }
   for (size_t k = 0; k < dirty_ids.size(); ++k) {
     const RecordId i = dirty_ids[k];
     const auto& before = kept_[static_cast<size_t>(i)];
@@ -313,6 +415,9 @@ Status IncrementalTokenOverlapIndex::LoadState(BinaryReader* reader) {
   uint64_t num_records = 0;
   GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&num_records));
   num_records_ = static_cast<size_t>(num_records);
+  // The serialized state predates tombstones; the owning pipeline restores
+  // the live count via SetNumLive once it knows the tombstone set.
+  num_live_ = num_records_;
   GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&max_df_));
 
   uint64_t num_tokens = 0;
@@ -478,6 +583,64 @@ CandidateDelta IncrementalIdOverlapIndex::AddPublishedRecords(
   };
   for (const BucketDiff& d : diffs) {
     // Both lists are sorted unique; emit set differences.
+    for (const RecordPair& p : d.before) {
+      if (!std::binary_search(d.after.begin(), d.after.end(), p)) bump(p, -1);
+    }
+    for (const RecordPair& p : d.after) {
+      if (!std::binary_search(d.before.begin(), d.before.end(), p)) bump(p, +1);
+    }
+  }
+  return FinalizeDelta(old_ref, &refcount_);
+}
+
+CandidateDelta IncrementalIdOverlapIndex::RemoveRecords(
+    const RecordTable& records, const std::vector<RecordId>& removed_ids,
+    ThreadPool* pool) {
+  if (removed_ids.empty()) return {};
+
+  // Re-extract each removed record's keys from its (retained) payload,
+  // snapshot every touched bucket's pre-removal holders once, then erase
+  // the record's occurrences in place — surviving holder order is
+  // preserved, and emptied buckets stay (their residue is what future
+  // diffs slice against, exactly as an overflowed bucket's is).
+  struct BucketDiff {
+    const std::vector<RecordId>* holders;
+    std::vector<RecordId> old_holders;
+    std::vector<RecordPair> before, after;
+  };
+  std::vector<BucketDiff> diffs;
+  std::unordered_map<const std::vector<RecordId>*, size_t> touched;
+  for (RecordId r : removed_ids) {
+    for (const auto& value : ExtractKeys(records.at(r))) {
+      auto it = index_.find(value);
+      if (it == index_.end()) continue;
+      std::vector<RecordId>& holders = it->second;
+      auto [slot, inserted] = touched.emplace(&holders, diffs.size());
+      if (inserted) diffs.push_back({&holders, holders, {}, {}});
+      (void)slot;
+      holders.erase(std::remove(holders.begin(), holders.end(), r),
+                    holders.end());
+    }
+  }
+
+  ParallelFor(
+      pool, 0, diffs.size(),
+      [&](size_t k) {
+        BucketDiff& d = diffs[k];
+        d.before = BucketPairs(records, d.old_holders, d.old_holders.size(),
+                               max_bucket_);
+        d.after =
+            BucketPairs(records, *d.holders, d.holders->size(), max_bucket_);
+      },
+      /*grain=*/4);
+
+  std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_ref;
+  auto bump = [&](const RecordPair& pair, int delta) {
+    uint32_t& count = refcount_[pair];
+    old_ref.emplace(pair, count);
+    count = static_cast<uint32_t>(static_cast<int>(count) + delta);
+  };
+  for (const BucketDiff& d : diffs) {
     for (const RecordPair& p : d.before) {
       if (!std::binary_search(d.after.begin(), d.after.end(), p)) bump(p, -1);
     }

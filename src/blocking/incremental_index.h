@@ -5,15 +5,16 @@
 /// Incremental blocking indexes for streaming ingestion: the Token Overlap
 /// and ID Overlap blockings maintained as in-place updatable inverted
 /// indexes. Each AddRecords call absorbs a batch of appended records and
-/// returns the exact delta of the blocker's candidate-pair set, with the
-/// recomputation scoped to the records the batch can actually affect (dirty
-/// records / touched identifier buckets).
+/// each RemoveRecords call retracts previously added ones; both return the
+/// exact delta of the blocker's candidate-pair set, with the recomputation
+/// scoped to the records the mutation can actually affect (dirty records /
+/// touched identifier buckets).
 ///
-/// Invariant: after any sequence of AddRecords calls, the current pair set
-/// equals the batch blocker run on the union of all records. The batch
-/// blockers (TokenOverlapBlocker, securities-mode IdOverlapBlocker) delegate
-/// to these indexes, so the equivalence holds by construction — there is one
-/// implementation of the blocking semantics, not two.
+/// Invariant: after any sequence of AddRecords/RemoveRecords calls, the
+/// current pair set equals the batch blocker run on the live records. The
+/// batch blockers (TokenOverlapBlocker, securities-mode IdOverlapBlocker)
+/// delegate to these indexes, so the equivalence holds by construction —
+/// there is one implementation of the blocking semantics, not two.
 ///
 /// Note that both blockings are *not* monotone in their inputs: an
 /// identifier bucket that grows past the bucket cap retracts every pair it
@@ -39,9 +40,9 @@ class BinaryReader;
 class BinaryWriter;
 class ThreadPool;
 
-/// Candidate-pair membership changes produced by one AddRecords call.
-/// `added` pairs entered the blocker's current candidate set, `removed`
-/// pairs left it; both are sorted ascending and disjoint.
+/// Candidate-pair membership changes produced by one AddRecords or
+/// RemoveRecords call. `added` pairs entered the blocker's current candidate
+/// set, `removed` pairs left it; both are sorted ascending and disjoint.
 struct CandidateDelta {
   std::vector<RecordPair> added;
   std::vector<RecordPair> removed;
@@ -86,10 +87,29 @@ class IncrementalTokenOverlapIndex {
       std::vector<std::vector<std::string>> published,
       ThreadPool* pool = nullptr);
 
+  /// Retract previously added records. Each id in `removed_ids` (in range,
+  /// unique, not yet removed) gives up its tokens: document frequencies
+  /// drop, the max-df cap is recomputed from the live-record count, and
+  /// every record whose ranking could change — holders of a touched or
+  /// eligibility-flipped token, including tokens pushed back *under* the
+  /// falling cap — is re-ranked. `records` must still hold the removed
+  /// records' payloads (the table is append-only; removal is logical). The
+  /// delta may contain added pairs: retraction is not monotone either, a df
+  /// falling back into [2, max_df] re-admits its token.
+  CandidateDelta RemoveRecords(const RecordTable& records,
+                               const std::vector<RecordId>& removed_ids,
+                               ThreadPool* pool = nullptr);
+
   /// Current candidate pairs (unsorted).
   std::vector<RecordPair> CurrentPairs() const;
 
   size_t num_records() const { return num_records_; }
+  /// Live (non-retracted) records; the max-df cap is a fraction of this
+  /// count, not of the table size.
+  size_t num_live() const { return num_live_; }
+  /// Restore the live count after LoadState (which defaults every record to
+  /// alive — the owning pipeline carries the tombstone set).
+  void SetNumLive(size_t live) { num_live_ = live; }
   size_t num_tokens() const { return tokens_.size(); }
 
   /// Serialize the complete index state (options included) into `writer`.
@@ -118,6 +138,7 @@ class IncrementalTokenOverlapIndex {
 
   TokenOverlapBlocker::Options options_;
   size_t num_records_ = 0;
+  size_t num_live_ = 0;
   uint32_t max_df_ = 1;
   std::unordered_map<std::string, int32_t> token_id_;
   std::vector<TokenInfo> tokens_;
@@ -161,6 +182,16 @@ class IncrementalIdOverlapIndex {
       const RecordTable& records,
       const std::vector<std::vector<std::string>>& published,
       ThreadPool* pool = nullptr);
+
+  /// Retract previously added records: each removed id's identifier values
+  /// release their holder entries (surviving holder order preserved, empty
+  /// buckets retained), and every touched bucket re-derives its pair
+  /// contribution — a bucket shrinking back into [2, max_bucket] holders
+  /// *re-admits* pairs it had overflowed away. Preconditions as for
+  /// IncrementalTokenOverlapIndex::RemoveRecords.
+  CandidateDelta RemoveRecords(const RecordTable& records,
+                               const std::vector<RecordId>& removed_ids,
+                               ThreadPool* pool = nullptr);
 
   /// Current candidate pairs (unsorted).
   std::vector<RecordPair> CurrentPairs() const;

@@ -14,7 +14,10 @@ constexpr char kMagic[8] = {'G', 'R', 'L', 'M', 'C', 'K', 'P', 'T'};
 Result<std::string> SerializeCheckpoint(const IncrementalPipeline& pipeline) {
   BinaryWriter image;
   image.WriteBytes(kMagic, sizeof(kMagic));
-  image.WriteU32(kCheckpointVersion);
+  // Lowest version that can represent the state: the tombstone section (and
+  // with it version 2) exists only when some record is dead, so a
+  // tombstone-free pipeline keeps producing byte-identical version 1 images.
+  image.WriteU32(pipeline.num_dead() > 0 ? kCheckpointVersion : 1);
   image.WriteString(pipeline.fingerprint());
   // The body serializes straight into the image (checkpoints scale with the
   // full pipeline state — no second copy of it); its u64 length prefix is
@@ -44,8 +47,9 @@ Result<std::unique_ptr<IncrementalPipeline>> ParseCheckpoint(
   GRALMATCH_RETURN_NOT_OK(CheckMagicBytes(&reader, kMagic, "checkpoint"));
   // Version before checksum, so files from a newer layout still get the
   // version diagnosis; checksum before any variable-length field.
+  uint32_t version = 0;
   GRALMATCH_RETURN_NOT_OK(
-      CheckFormatVersion(&reader, kCheckpointVersion, "checkpoint"));
+      CheckFormatVersion(&reader, kCheckpointVersion, "checkpoint", &version));
   GRALMATCH_ASSIGN_OR_RETURN(const uint64_t stored_checksum,
                              CheckTrailingChecksum(image, "checkpoint"));
 
@@ -77,8 +81,8 @@ Result<std::unique_ptr<IncrementalPipeline>> ParseCheckpoint(
   }
 
   BinaryReader body_reader(body);
-  auto result =
-      IncrementalPipeline::Deserialize(&body_reader, num_threads_override);
+  auto result = IncrementalPipeline::Deserialize(&body_reader, version,
+                                                 num_threads_override);
   if (!result.ok()) return result.status();
   if (!body_reader.AtEnd()) {
     return Status::IOError("checkpoint corrupted: " +

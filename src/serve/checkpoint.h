@@ -13,13 +13,20 @@
 /// File format (all integers little-endian, see common/binary_io.h):
 ///
 ///   offset 0   8-byte magic "GRLMCKPT"
-///          8   u32 format version (kCheckpointVersion)
+///          8   u32 format version (1 or 2, see below)
 ///         12   matcher fingerprint (u64 length + bytes)
 ///          .   u64 body size, then the body: the pipeline state produced
 ///              by IncrementalPipeline::Serialize
 ///          .   u64 FNV-1a 64 checksum of every preceding byte (header and
 ///              body both — a flipped fingerprint byte is diagnosed as
 ///              corruption, not as a matcher change)
+///
+/// Version stamping: version 2 added the tombstone section (sorted dead
+/// record ids after the record table) for pipelines with removals. The
+/// writer stamps the *lowest* version that can represent the state — a
+/// pipeline with no dead records produces a byte-identical version 1 image,
+/// so pre-tombstone readers keep loading tombstone-free checkpoints and
+/// every version 1 file round-trips unchanged through this binary.
 ///
 /// Load validation order: magic, version (files from a *newer* format are
 /// rejected, not misread), whole-image checksum, header fingerprint against
@@ -38,8 +45,10 @@
 
 namespace gralmatch {
 
-/// Current checkpoint format version. Bump on any layout change.
-constexpr uint32_t kCheckpointVersion = 1;
+/// Newest checkpoint format version this binary reads and writes. Bump on
+/// any layout change. Writers stamp the lowest version representing the
+/// state (see the file comment), so this is a ceiling, not the stamp.
+constexpr uint32_t kCheckpointVersion = 2;
 
 /// Serialize `pipeline` into an in-memory checkpoint image (magic, version,
 /// fingerprint header, body, checksum). Fails on a poisoned pipeline — an

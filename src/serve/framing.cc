@@ -52,7 +52,7 @@ Status CheckMagicBytes(BinaryReader* reader, const char (&magic)[8],
 }
 
 Status CheckFormatVersion(BinaryReader* reader, uint32_t current_version,
-                          const std::string& what) {
+                          const std::string& what, uint32_t* parsed_version) {
   uint32_t version = 0;
   GRALMATCH_RETURN_NOT_OK(reader->ReadU32(&version));
   if (version > current_version) {
@@ -64,6 +64,7 @@ Status CheckFormatVersion(BinaryReader* reader, uint32_t current_version,
   if (version == 0) {
     return Status::InvalidArgument(what + " version 0 is not valid");
   }
+  if (parsed_version != nullptr) *parsed_version = version;
   return Status::OK();
 }
 

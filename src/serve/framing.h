@@ -35,8 +35,11 @@ Status CheckMagicBytes(BinaryReader* reader, const char (&magic)[8],
 
 /// Consume and verify a u32 format version: versions newer than
 /// `current_version` are rejected, not misread, and version 0 is invalid.
+/// The accepted version is returned through `parsed_version` (optional) —
+/// multi-version readers branch their body layout on it.
 Status CheckFormatVersion(BinaryReader* reader, uint32_t current_version,
-                          const std::string& what);
+                          const std::string& what,
+                          uint32_t* parsed_version = nullptr);
 
 /// Verify the trailing whole-image checksum (the last 8 bytes against the
 /// FNV-1a 64 of everything before them), returning its value.

@@ -35,6 +35,7 @@ std::string ShardFileName(size_t shard, uint64_t checksum) {
 /// (magic, version, fingerprint, shard count, checksum list). The caller
 /// decides how much further validation to run.
 struct ManifestHeader {
+  uint32_t version = 0;
   std::string fingerprint;
   std::vector<uint64_t> shard_checksums;
   uint64_t trailing_checksum = 0;
@@ -44,9 +45,9 @@ Result<ManifestHeader> ReadManifestHeader(BinaryReader* reader,
                                           const std::string& image) {
   GRALMATCH_RETURN_NOT_OK(
       CheckMagicBytes(reader, kManifestMagic, "sharded checkpoint manifest"));
-  GRALMATCH_RETURN_NOT_OK(
-      CheckFormatVersion(reader, kShardedCheckpointVersion, "manifest"));
   ManifestHeader header;
+  GRALMATCH_RETURN_NOT_OK(CheckFormatVersion(
+      reader, kShardedCheckpointVersion, "manifest", &header.version));
   GRALMATCH_ASSIGN_OR_RETURN(header.trailing_checksum,
                              CheckTrailingChecksum(image, "manifest"));
   GRALMATCH_RETURN_NOT_OK(reader->ReadString(&header.fingerprint));
@@ -114,13 +115,19 @@ Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
   // stays complete on disk throughout.
   std::vector<BinaryWriter> bodies;
   GRALMATCH_RETURN_NOT_OK(pipeline.SerializeShardBodies(&bodies));
+  // Lowest version that can represent the state, uniform across the
+  // manifest and every shard file: tombstone sections (and with them
+  // version 2) exist only when some record is dead, so a tombstone-free
+  // pipeline keeps producing byte-identical version 1 checkpoints.
+  const uint32_t version =
+      pipeline.num_dead() > 0 ? kShardedCheckpointVersion : 1;
   std::vector<uint64_t> shard_checksums;
   std::unordered_set<std::string> live_names;
   shard_checksums.reserve(bodies.size());
   for (size_t s = 0; s < bodies.size(); ++s) {
     BinaryWriter image;
     image.WriteBytes(kShardMagic, sizeof(kShardMagic));
-    image.WriteU32(kShardedCheckpointVersion);
+    image.WriteU32(version);
     image.WriteU32(static_cast<uint32_t>(s));
     image.WriteU64(bodies[s].size());
     image.WriteBytes(bodies[s].buffer().data(), bodies[s].size());
@@ -137,7 +144,7 @@ Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
   // commits atomically last.
   BinaryWriter manifest;
   manifest.WriteBytes(kManifestMagic, sizeof(kManifestMagic));
-  manifest.WriteU32(kShardedCheckpointVersion);
+  manifest.WriteU32(version);
   manifest.WriteString(pipeline.fingerprint());
   manifest.WriteU64(shard_checksums.size());
   for (const uint64_t checksum : shard_checksums) {
@@ -216,8 +223,16 @@ Result<std::unique_ptr<ShardedPipeline>> LoadShardedCheckpoint(
     BinaryReader reader(shard_images[s]);
     GRALMATCH_RETURN_NOT_OK(
         CheckMagicBytes(&reader, kShardMagic, "shard checkpoint file"));
-    GRALMATCH_RETURN_NOT_OK(
-        CheckFormatVersion(&reader, kShardedCheckpointVersion, "shard file"));
+    uint32_t shard_version = 0;
+    GRALMATCH_RETURN_NOT_OK(CheckFormatVersion(
+        &reader, kShardedCheckpointVersion, "shard file", &shard_version));
+    if (shard_version != header.version) {
+      return Status::IOError(
+          "shard file for shard " + std::to_string(s) + " carries version " +
+          std::to_string(shard_version) + " but the manifest is version " +
+          std::to_string(header.version) +
+          "; the checkpoint's files must share one version");
+    }
     GRALMATCH_ASSIGN_OR_RETURN(
         const uint64_t checksum,
         CheckTrailingChecksum(shard_images[s], "shard file"));
@@ -240,7 +255,8 @@ Result<std::unique_ptr<ShardedPipeline>> LoadShardedCheckpoint(
 
   BinaryReader manifest_body_reader(manifest_body);
   auto result = ShardedPipeline::DeserializeFromParts(
-      &manifest_body_reader, &shard_bodies, num_threads_override);
+      &manifest_body_reader, &shard_bodies, header.version,
+      num_threads_override);
   if (!result.ok()) return result.status();
   if (!manifest_body_reader.AtEnd()) {
     return Status::IOError("manifest corrupted: unconsumed body bytes");

@@ -22,11 +22,20 @@
 /// Shard file (all integers little-endian, common/binary_io.h):
 ///
 ///   offset 0   8-byte magic "GRLMSHRD"
-///          8   u32 format version (kShardedCheckpointVersion)
+///          8   u32 format version (see stamping below)
 ///         12   u32 shard index
 ///         16   u64 body size, then the body: the slice produced by
 ///              ShardedPipeline::SerializeShardBodies
 ///          .   u64 FNV-1a 64 checksum of every preceding byte
+///
+/// Version stamping: version 2 added the per-shard tombstone section
+/// (ShardState::Save) for pipelines with removals. The writer stamps the
+/// *lowest* version that can represent the state — a pipeline with no dead
+/// records produces byte-identical version 1 files, so pre-tombstone
+/// readers keep loading tombstone-free checkpoints. The stamp is uniform:
+/// the manifest and every shard file of one checkpoint carry the same
+/// version, and the loader rejects a mix (a version 1 shard file under a
+/// version 2 manifest is a stale file, not a layout choice).
 ///
 /// Manifest:
 ///
@@ -64,8 +73,10 @@
 
 namespace gralmatch {
 
-/// Current sharded-checkpoint format version. Bump on any layout change.
-constexpr uint32_t kShardedCheckpointVersion = 1;
+/// Newest sharded-checkpoint format version this binary reads and writes.
+/// Bump on any layout change. Writers stamp the lowest version representing
+/// the state (see the file comment), so this is a ceiling, not the stamp.
+constexpr uint32_t kShardedCheckpointVersion = 2;
 
 /// Write a checkpoint of `pipeline` under the directory `dir` (created if
 /// absent). Content-addressed shard files first, the manifest atomically

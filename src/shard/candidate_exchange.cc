@@ -30,15 +30,31 @@ CandidateExchange::Deltas CandidateExchange::Exchange(
   return deltas;
 }
 
-void CandidateExchange::RebuildFromRecords(const RecordTable& records,
-                                           ThreadPool* pool) {
+CandidateExchange::Deltas CandidateExchange::Retract(
+    const RecordTable& records, const std::vector<RecordId>& removed_ids,
+    ThreadPool* pool) {
+  Deltas deltas;
+  if (use_id_) {
+    deltas.id = id_index_.RemoveRecords(records, removed_ids, pool);
+  }
+  if (use_token_) {
+    deltas.token = token_index_.RemoveRecords(records, removed_ids, pool);
+  }
+  return deltas;
+}
+
+void CandidateExchange::RebuildFromRecords(
+    const RecordTable& records, const std::vector<RecordId>& dead_ids,
+    ThreadPool* pool) {
   if (use_id_) {
     id_index_ = IncrementalIdOverlapIndex();
     (void)id_index_.AddRecords(records, pool);
+    (void)id_index_.RemoveRecords(records, dead_ids, pool);
   }
   if (use_token_) {
     token_index_ = IncrementalTokenOverlapIndex(token_options_);
     (void)token_index_.AddRecords(records, pool);
+    (void)token_index_.RemoveRecords(records, dead_ids, pool);
   }
 }
 

@@ -57,12 +57,25 @@ class CandidateExchange {
   Deltas Exchange(const RecordTable& records,
                   std::vector<RecordKeys> published, ThreadPool* pool);
 
-  /// Rebuild the global indexes from scratch over `records` (checkpoint
-  /// restore): equivalent to one bulk round of every record's publications.
-  /// Index state is a pure function of the record set — every structure is
-  /// defined by (records, options), not by arrival history — so the rebuilt
-  /// exchange diffs future batches exactly as the original would have.
-  void RebuildFromRecords(const RecordTable& records, ThreadPool* pool);
+  /// Cross-shard retraction round: pull `removed_ids` (in range, live,
+  /// unique, any owner shard) out of the global indexes. Keys are
+  /// re-extracted from the records' retained payloads, so no shard needs to
+  /// republish anything. Returns the exact global deltas — retraction can
+  /// *add* pairs (a bucket shrinking back under its cap, a df falling back
+  /// into eligibility).
+  Deltas Retract(const RecordTable& records,
+                 const std::vector<RecordId>& removed_ids, ThreadPool* pool);
+
+  /// Rebuild the global indexes from scratch over `records` minus
+  /// `dead_ids` (checkpoint restore): one bulk round of every record's
+  /// publications followed by one bulk retraction of the tombstoned ids.
+  /// Index state is a pure function of (record table, tombstone set) —
+  /// every structure is defined by those plus the options, not by arrival
+  /// history — so the rebuilt exchange diffs future batches exactly as the
+  /// original would have.
+  void RebuildFromRecords(const RecordTable& records,
+                          const std::vector<RecordId>& dead_ids,
+                          ThreadPool* pool);
 
   const IncrementalIdOverlapIndex& id_index() const { return id_index_; }
   const IncrementalTokenOverlapIndex& token_index() const {

@@ -9,12 +9,15 @@
 namespace gralmatch {
 
 void ShardState::Save(
-    const RecordTable& records,
+    const RecordTable& records, const std::vector<char>& alive,
+    bool with_tombstones,
     const std::vector<std::pair<int32_t, const GroupStore::ComponentState*>>&
         owned_components,
     BinaryWriter* writer) const {
   // Owned records with their global ids: the union of every shard's list
-  // reassembles the record table, id-complete and in order.
+  // reassembles the record table, id-complete and in order. Dead records
+  // are stored too — their retained payloads re-extract blocking keys on
+  // restore and keep the id space contiguous.
   writer->WriteU64(owned.size());
   for (const RecordId id : owned) {
     const Record& rec = records.at(id);
@@ -26,6 +29,18 @@ void ShardState::Save(
       writer->WriteString(name);
       writer->WriteString(value);
     }
+  }
+
+  // Tombstones (format v2): the owned ids that are dead, ascending (owned
+  // is ascending). Present in every shard file or none — the caller passes
+  // the same with_tombstones to all shards.
+  if (with_tombstones) {
+    std::vector<RecordId> dead;
+    for (const RecordId id : owned) {
+      if (!alive[static_cast<size_t>(id)]) dead.push_back(id);
+    }
+    writer->WriteU64(dead.size());
+    for (const RecordId id : dead) writer->WriteI32(id);
   }
 
   std::vector<std::pair<RecordPair, double>> scores(score_cache.begin(),
@@ -60,7 +75,8 @@ void ShardState::Save(
 }
 
 Result<ShardCheckpointPart> ShardCheckpointPart::Parse(BinaryReader* reader,
-                                                       size_t num_records) {
+                                                       size_t num_records,
+                                                       uint32_t version) {
   ShardCheckpointPart part;
 
   uint64_t count = 0;
@@ -98,6 +114,36 @@ Result<ShardCheckpointPart> ShardCheckpointPart::Parse(BinaryReader* reader,
       rec.Set(name, value);
     }
     part.records.emplace_back(id, std::move(rec));
+  }
+
+  // Tombstone section (format v2+): this shard's dead ids, a strictly
+  // ascending subset of its record ids. Version 1 files predate tombstones.
+  if (version >= 2) {
+    uint64_t num_dead = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &num_dead));
+    part.tombstones.reserve(static_cast<size_t>(num_dead));
+    RecordId prev_dead = -1;
+    for (uint64_t k = 0; k < num_dead; ++k) {
+      RecordId id = -1;
+      GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&id));
+      if (id <= prev_dead) {
+        return Status::IOError(
+            "corrupted shard checkpoint: tombstone ids not strictly "
+            "ascending");
+      }
+      prev_dead = id;
+      const auto it = std::lower_bound(
+          part.records.begin(), part.records.end(), id,
+          [](const std::pair<RecordId, Record>& entry, RecordId target) {
+            return entry.first < target;
+          });
+      if (it == part.records.end() || it->first != id) {
+        return Status::IOError(
+            "corrupted shard checkpoint: tombstone for a record this shard "
+            "does not store");
+      }
+      part.tombstones.push_back(id);
+    }
   }
 
   auto check_pair = [num_records](const RecordPair& pair) {

@@ -15,6 +15,7 @@
 /// component store) stays in the coordinating pipeline.
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -45,11 +46,16 @@ struct ShardState {
 
   /// Serialize this shard's slice — owned records (with global ids and full
   /// payloads, so the union of all shard files reassembles the record
-  /// table), score cache, positives, counters, and the components whose
-  /// smallest node this shard owns (`owned_components`, from the global
-  /// GroupStore). Map-backed state is written sorted, so equal slices
-  /// serialize to equal bytes.
-  void Save(const RecordTable& records,
+  /// table), tombstones (the owned ids that are dead in the pipeline-global
+  /// `alive` mask; written only when `with_tombstones`, which the pipeline
+  /// sets for ALL shards exactly when any record pipeline-wide is dead, so
+  /// the per-file layout is a function of the checkpoint version alone),
+  /// score cache, positives, counters, and the components whose smallest
+  /// node this shard owns (`owned_components`, from the global GroupStore).
+  /// Map-backed state is written sorted, so equal slices serialize to equal
+  /// bytes.
+  void Save(const RecordTable& records, const std::vector<char>& alive,
+            bool with_tombstones,
             const std::vector<std::pair<int32_t, const GroupStore::ComponentState*>>&
                 owned_components,
             BinaryWriter* writer) const;
@@ -60,17 +66,22 @@ struct ShardState {
 struct ShardCheckpointPart {
   /// (global id, payload), ascending by id.
   std::vector<std::pair<RecordId, Record>> records;
+  /// Dead ids owned by this shard, ascending (format v2+; empty before).
+  std::vector<RecordId> tombstones;
   std::unordered_map<RecordPair, double, RecordPairHash> score_cache;
   std::vector<RecordPair> positives;
   size_t matcher_calls = 0;
   size_t cache_hits = 0;
   std::vector<std::pair<int32_t, GroupStore::ComponentState>> components;
 
-  /// Read one shard body. `num_records` bounds every record id and pair;
-  /// ids must be strictly ascending within the shard. Structural validation
-  /// only — cross-shard invariants are the pipeline's job.
+  /// Read one shard body laid out under checkpoint format `version`.
+  /// `num_records` bounds every record id and pair; record ids must be
+  /// strictly ascending within the shard and tombstones must be a strictly
+  /// ascending subset of them. Structural validation only — cross-shard
+  /// invariants are the pipeline's job.
   static Result<ShardCheckpointPart> Parse(BinaryReader* reader,
-                                           size_t num_records);
+                                           size_t num_records,
+                                           uint32_t version);
 };
 
 }  // namespace gralmatch

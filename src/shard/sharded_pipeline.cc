@@ -44,11 +44,34 @@ size_t ShardedPipeline::total_cache_hits() const {
   return total;
 }
 
+Status ShardedPipeline::ValidateRemovals(
+    const std::vector<RecordId>& ids) const {
+  std::unordered_set<RecordId> seen;
+  for (RecordId id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= records_.size()) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": id out of range");
+    }
+    if (!alive_[static_cast<size_t>(id)]) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": already tombstoned");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": duplicated in the removal set");
+    }
+  }
+  return Status::OK();
+}
+
 Result<IngestReport> ShardedPipeline::Ingest(const std::vector<Record>& batch,
                                              const PairwiseMatcher& matcher) {
   if (poisoned_) return PoisonError();
   try {
-    return IngestImpl(batch, matcher);
+    return MutateImpl(batch, {}, matcher);
   } catch (const std::exception& e) {
     poisoned_ = true;
     poison_reason_ = std::string("an ingest aborted mid-way: ") + e.what();
@@ -60,22 +83,71 @@ Result<IngestReport> ShardedPipeline::Ingest(const std::vector<Record>& batch,
   }
 }
 
-IngestReport ShardedPipeline::IngestImpl(const std::vector<Record>& batch,
-                                         const PairwiseMatcher& matcher) {
+Result<IngestReport> ShardedPipeline::Remove(const std::vector<RecordId>& ids,
+                                             const PairwiseMatcher& matcher) {
+  if (poisoned_) return PoisonError();
+  GRALMATCH_RETURN_NOT_OK(ValidateRemovals(ids));
+  try {
+    return MutateImpl({}, ids, matcher);
+  } catch (const std::exception& e) {
+    poisoned_ = true;
+    poison_reason_ = std::string("a removal aborted mid-way: ") + e.what();
+    return PoisonError();
+  } catch (...) {
+    poisoned_ = true;
+    poison_reason_ = "a removal aborted mid-way: non-standard exception";
+    return PoisonError();
+  }
+}
+
+Result<IngestReport> ShardedPipeline::Update(
+    const std::vector<RecordUpdate>& batch, const PairwiseMatcher& matcher) {
+  if (poisoned_) return PoisonError();
+  std::vector<RecordId> ids;
+  std::vector<Record> adds;
+  ids.reserve(batch.size());
+  adds.reserve(batch.size());
+  for (const RecordUpdate& update : batch) {
+    ids.push_back(update.id);
+    adds.push_back(update.record);
+  }
+  GRALMATCH_RETURN_NOT_OK(ValidateRemovals(ids));
+  try {
+    return MutateImpl(adds, ids, matcher);
+  } catch (const std::exception& e) {
+    poisoned_ = true;
+    poison_reason_ = std::string("an update aborted mid-way: ") + e.what();
+    return PoisonError();
+  } catch (...) {
+    poisoned_ = true;
+    poison_reason_ = "an update aborted mid-way: non-standard exception";
+    return PoisonError();
+  }
+}
+
+IngestReport ShardedPipeline::MutateImpl(
+    const std::vector<Record>& adds, const std::vector<RecordId>& removal_ids,
+    const PairwiseMatcher& matcher) {
   const size_t num_shards = shards_.size();
   IngestReport report;
-  report.records_added = batch.size();
+  report.records_added = adds.size();
+  report.records_removed = removal_ids.size();
 
   // Phase 1 — route. Records keep global contiguous ids; the router only
-  // decides which shard-local state owns them.
+  // decides which shard-local state owns them. Tombstoned records keep
+  // their slot in the table and their owner's `owned` list (checkpoint
+  // reassembly needs every id to have exactly one provider).
   const size_t old_n = records_.size();
-  for (const Record& rec : batch) {
+  for (const Record& rec : adds) {
     const size_t shard = router_.ShardOf(rec);
     const RecordId id = records_.Add(rec);
     shard_of_record_.push_back(static_cast<uint32_t>(shard));
     shards_[shard].owned.push_back(id);
   }
   const size_t new_n = records_.size();
+  alive_.resize(new_n, 1);
+  for (RecordId id : removal_ids) alive_[static_cast<size_t>(id)] = 0;
+  num_dead_ += removal_ids.size();
   store_.EnsureNumRecords(new_n);
 
   // A fingerprint change invalidates every shard's cache at once — the
@@ -87,9 +159,18 @@ IngestReport ShardedPipeline::IngestImpl(const std::vector<Record>& batch,
   }
   fingerprint_ = fingerprint;
 
-  // Phase 2 — candidate exchange. Each shard extracts (publishes) the
-  // blocking keys of the new records it owns; the exchange folds every
-  // publication into the global indexes and returns the exact delta.
+  // Phase 2 — candidate exchange. Retraction first: the exchange pulls the
+  // tombstoned records' keys out of the global indexes (re-extracted from
+  // the retained payloads — no shard republishes anything). Then each shard
+  // extracts (publishes) the blocking keys of the new records it owns and
+  // the exchange folds every publication in. Both rounds return exact
+  // global deltas; the candidate transitions below diff a pre-mutation
+  // snapshot against the final state, so they are independent of this
+  // internal order.
+  CandidateExchange::Deltas retractions;
+  if (!removal_ids.empty()) {
+    retractions = exchange_.Retract(records_, removal_ids, pool_.get());
+  }
   std::vector<RecordKeys> published(new_n - old_n);
   std::vector<std::vector<RecordId>> new_by_shard(num_shards);
   for (size_t id = old_n; id < new_n; ++id) {
@@ -123,8 +204,12 @@ IngestReport ShardedPipeline::IngestImpl(const std::vector<Record>& batch,
       it->second &= ~bit;
     }
   };
-  if (config_.base.use_id_blocker) apply_delta(deltas.id, kBlockerIdOverlap);
+  if (config_.base.use_id_blocker) {
+    apply_delta(retractions.id, kBlockerIdOverlap);
+    apply_delta(deltas.id, kBlockerIdOverlap);
+  }
   if (config_.base.use_token_blocker) {
+    apply_delta(retractions.token, kBlockerTokenOverlap);
     apply_delta(deltas.token, kBlockerTokenOverlap);
   }
 
@@ -145,6 +230,28 @@ IngestReport ShardedPipeline::IngestImpl(const std::vector<Record>& batch,
   std::sort(prov_changed.begin(), prov_changed.end());
   report.candidates_added = cand_added.size();
   report.candidates_removed = cand_removed.size();
+
+  // Evict cached scores touching a tombstoned record from their owner
+  // shards. Ids never recycle, so an evicted entry can never be asked for
+  // again; surviving entries keep serving re-admitted pairs. Unaffected
+  // pairs are deliberately NOT rescored — deletion must not spend matcher
+  // calls on them. The summed eviction count equals the single pipeline's.
+  if (!removal_ids.empty()) {
+    std::vector<char> removed_now(new_n, 0);
+    for (RecordId id : removal_ids) removed_now[static_cast<size_t>(id)] = 1;
+    for (ShardState& shard : shards_) {
+      for (auto it = shard.score_cache.begin();
+           it != shard.score_cache.end();) {
+        if (removed_now[static_cast<size_t>(it->first.a)] ||
+            removed_now[static_cast<size_t>(it->first.b)]) {
+          it = shard.score_cache.erase(it);
+          ++report.cache_evictions;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
 
   // Phase 3 — shard-parallel scoring. Every pair is checked against (and
   // cached in) its owner shard's cache only; ownership is stable, so no
@@ -259,7 +366,7 @@ Result<PipelineResult> ShardedPipeline::Snapshot() const {
                                   shard.positives.end());
   }
   std::sort(result.predicted_pairs.begin(), result.predicted_pairs.end());
-  store_.FillSnapshot(records_.size(), &result);
+  store_.FillSnapshot(records_.size(), &alive_, &result);
   result.cleanup_stats.seconds = cleanup_seconds_total_;
   result.inference_seconds = scoring_seconds_total_;
   return result;
@@ -305,15 +412,21 @@ Status ShardedPipeline::SerializeShardBodies(
   }
   writers->clear();
   writers->resize(shards_.size());
+  // Tombstone sections are all-or-none across the shard files: they exist
+  // exactly when the pipeline has any dead record (then the whole
+  // checkpoint is stamped version 2), so a shard with no dead records still
+  // writes an empty section and every file parses under one version.
+  const bool with_tombstones = num_dead_ > 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    shards_[s].Save(records_, owned[s], &(*writers)[s]);
+    shards_[s].Save(records_, alive_, with_tombstones, owned[s],
+                    &(*writers)[s]);
   }
   return Status::OK();
 }
 
 Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
     BinaryReader* manifest_body, std::vector<BinaryReader>* shard_bodies,
-    size_t num_threads_override) {
+    uint32_t version, size_t num_threads_override) {
   ShardedPipelineConfig config;
   uint64_t u = 0;
   GRALMATCH_RETURN_NOT_OK(manifest_body->ReadU64(&u));
@@ -368,7 +481,7 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
   std::vector<ShardCheckpointPart> parts;
   parts.reserve(shard_bodies->size());
   for (BinaryReader& body : *shard_bodies) {
-    auto part = ShardCheckpointPart::Parse(&body, n);
+    auto part = ShardCheckpointPart::Parse(&body, n, version);
     if (!part.ok()) return part.status();
     parts.push_back(std::move(part).MoveValueUnsafe());
   }
@@ -404,6 +517,32 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
     }
   }
 
+  // Tombstones, merged from every shard's section (each shard stores the
+  // dead ids it owns; Parse verified they reference that shard's records,
+  // which are globally unique, so no id can arrive twice).
+  pipeline->alive_.assign(n, 1);
+  std::vector<RecordId> dead_ids;
+  for (const ShardCheckpointPart& part : parts) {
+    for (RecordId id : part.tombstones) {
+      pipeline->alive_[static_cast<size_t>(id)] = 0;
+      dead_ids.push_back(id);
+    }
+  }
+  std::sort(dead_ids.begin(), dead_ids.end());
+  pipeline->num_dead_ = dead_ids.size();
+
+  // Tombstoned records retract every pair they touch, so a cached score or
+  // positive referencing one is corruption.
+  auto check_alive = [&pipeline](const RecordPair& pair) {
+    if (!pipeline->alive_[static_cast<size_t>(pair.a)] ||
+        !pipeline->alive_[static_cast<size_t>(pair.b)]) {
+      return Status::IOError(
+          "corrupted shard checkpoint: record pair references a tombstoned "
+          "record");
+    }
+    return Status::OK();
+  };
+
   // Shard-local scoring state; every pair must be owned by its shard.
   for (size_t s = 0; s < parts.size(); ++s) {
     ShardState& shard = pipeline->shards_[s];
@@ -415,6 +554,7 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
             "corrupted shard checkpoint: cached score for a pair another "
             "shard owns");
       }
+      GRALMATCH_RETURN_NOT_OK(check_alive(pair));
     }
     shard.score_cache = std::move(parts[s].score_cache);
     for (const RecordPair& pair : parts[s].positives) {
@@ -422,6 +562,7 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
         return Status::IOError(
             "corrupted shard checkpoint: positive pair another shard owns");
       }
+      GRALMATCH_RETURN_NOT_OK(check_alive(pair));
       if (!shard.positives.insert(pair).second) {
         return Status::IOError(
             "corrupted shard checkpoint: duplicate positive pair");
@@ -431,11 +572,12 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
     shard.cache_hits = parts[s].cache_hits;
   }
 
-  // Rebuild the global blocking state from the reassembled record table —
-  // index state is a pure function of the record set, so one bulk
-  // publication round reproduces exactly what the saved exchange held —
-  // and derive the candidate set from it.
-  pipeline->exchange_.RebuildFromRecords(pipeline->records_,
+  // Rebuild the global blocking state from the reassembled record table and
+  // tombstone set — index state is a pure function of (records,
+  // tombstones), so one bulk publication round plus one bulk retraction
+  // reproduces exactly what the saved exchange held — and derive the
+  // candidate set from it.
+  pipeline->exchange_.RebuildFromRecords(pipeline->records_, dead_ids,
                                          pipeline->pool_.get());
   if (config.base.use_id_blocker) {
     for (const RecordPair& pair :
@@ -496,6 +638,15 @@ Result<std::unique_ptr<ShardedPipeline>> ShardedPipeline::DeserializeFromParts(
     }
   }
   pipeline->store_.SetNextComponentId(next_comp_id);
+  // A tombstoned record has lost every positive edge, so it must have left
+  // its component (Snapshot relies on this to skip dead singletons).
+  for (size_t r = 0; r < n; ++r) {
+    if (!pipeline->alive_[r] && pipeline->store_.comp_of_node()[r] >= 0) {
+      return Status::IOError(
+          "corrupted shard checkpoint: tombstoned record still inside a "
+          "component");
+    }
+  }
   GRALMATCH_RETURN_NOT_OK(
       pipeline->store_.Validate([&pipeline](const RecordPair& pair) {
         return pipeline->shards_[pipeline->OwnerOf(pair)].positives.count(

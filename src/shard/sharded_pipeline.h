@@ -25,17 +25,27 @@
 ///     dirty-component cleanup (stream/group_store.h) re-cleans exactly the
 ///     touched region.
 ///
-/// Shard-count invariance contract (enforced by tests/shard_test.cc):
-/// Snapshot() at any shard count S and any thread count is identical —
+/// Remove() and Update() extend the same machinery to the full CRUD
+/// surface: a removal tombstones the records (ids are never recycled and
+/// payloads stay in the table), the exchange retracts their blocking keys
+/// globally, owner shards evict the cached scores the dead records touch,
+/// and the dirty-component cleanup re-cleans exactly the components that
+/// lost a node or an edge. An update is an exact remove-then-add of the new
+/// payload inside one mutation round.
+///
+/// Schedule-equivalence contract (enforced by tests/shard_test.cc and
+/// tests/crud_test.cc): Snapshot() after ANY interleaved add/update/delete
+/// schedule, at any shard count S and any thread count, is identical —
 /// predicted pairs, pre-cleanup components, groups, and all cleanup
-/// counters — to the S=1 result, to IncrementalPipeline on the same ingest
-/// sequence, and to a from-scratch EntityGroupPipeline::Run on the union of
-/// all batches. The argument: the exchange reproduces the global candidate
-/// set exactly; a pair's owner shard is stable, so the union of shard
-/// caches equals the single cache key-for-key (each pair scored at most
-/// once per fingerprint, pipeline-wide); the positive set is the same
-/// threshold test on the same scores; and the merge feeds the identical
-/// transition stream to the identical GroupStore machinery.
+/// counters — to the S=1 result, to IncrementalPipeline on the same
+/// mutation sequence, and to a from-scratch EntityGroupPipeline::Run on the
+/// final surviving record set. The argument: the exchange reproduces the
+/// global candidate set exactly (additions and retractions both); a pair's
+/// owner shard is stable, so the union of shard caches equals the single
+/// cache key-for-key (each pair scored at most once per fingerprint,
+/// pipeline-wide); the positive set is the same threshold test on the same
+/// scores; and the merge feeds the identical transition stream to the
+/// identical GroupStore machinery.
 ///
 /// Checkpoints are partitioned the same way the state is: one framed file
 /// per shard plus a manifest (serve/sharded_checkpoint.h).
@@ -92,15 +102,39 @@ class ShardedPipeline {
   Result<IngestReport> Ingest(const std::vector<Record>& batch,
                               const PairwiseMatcher& matcher);
 
-  /// Current result; see the shard-count invariance contract above.
+  /// Tombstone `ids` pipeline-wide; exact mirror of
+  /// IncrementalPipeline::Remove. Every id must be in range, alive and
+  /// unique — a bad set is an InvalidArgument error and mutates nothing.
+  /// `matcher` may be consulted: a cross-shard retraction can re-admit a
+  /// bucket or token that was previously over its cap, and re-admitted
+  /// never-scored pairs must be scored.
+  Result<IngestReport> Remove(const std::vector<RecordId>& ids,
+                              const PairwiseMatcher& matcher);
+
+  /// Replace each record's payload: an exact removal of the old ids plus an
+  /// ingest of the new payloads in one mutation round (one dirty-component
+  /// pass). New payloads get fresh ids; same validation as Remove.
+  Result<IngestReport> Update(const std::vector<RecordUpdate>& batch,
+                              const PairwiseMatcher& matcher);
+
+  /// Current result; see the schedule-equivalence contract above.
   Result<PipelineResult> Snapshot() const;
 
   /// OK, or the poison error describing why the pipeline must be discarded.
   Status status() const;
 
   /// All ingested records in ingest order, ids assigned contiguously
-  /// (global ids — shard membership never renumbers a record).
+  /// (global ids — shard membership never renumbers a record). Tombstoned
+  /// records keep their slot; check is_alive().
   const RecordTable& records() const { return records_; }
+
+  /// Liveness per record id (parallel to records()); 1 = alive.
+  const std::vector<char>& alive() const { return alive_; }
+  bool is_alive(RecordId id) const {
+    return alive_[static_cast<size_t>(id)] != 0;
+  }
+  size_t num_dead() const { return num_dead_; }
+  size_t num_live() const { return records_.size() - num_dead_; }
 
   const ShardedPipelineConfig& config() const { return config_; }
   const ShardRouter& router() const { return router_; }
@@ -130,28 +164,36 @@ class ShardedPipeline {
   Status SerializeManifestBody(BinaryWriter* writer) const;
 
   /// Every shard's slice, one writer per shard (`writers` is resized to
-  /// num_shards()): its records (with global ids), score cache, positives,
-  /// counters, and the components whose smallest node it owns. All slices
-  /// serialize in one call so the component store is bucketed by owner
-  /// shard in a single pass instead of scanned once per shard.
+  /// num_shards()): its records (with global ids), its tombstones (only
+  /// when the pipeline has any dead record — tombstone-free pipelines keep
+  /// the version 1 byte layout, serve/sharded_checkpoint.h stamps the
+  /// version to match), score cache, positives, counters, and the
+  /// components whose smallest node it owns. All slices serialize in one
+  /// call so the component store is bucketed by owner shard in a single
+  /// pass instead of scanned once per shard.
   Status SerializeShardBodies(std::vector<BinaryWriter>* writers) const;
 
   /// Reassemble a pipeline from a manifest body and all S shard bodies (in
-  /// shard order). The global blocking indexes are rebuilt from the
-  /// reassembled record table — index state is a pure function of the
-  /// record set, so the rebuilt exchange produces exactly the deltas the
+  /// shard order), parsed under checkpoint format `version`. The global
+  /// blocking indexes are rebuilt from the reassembled record table and
+  /// tombstone set — index state is a pure function of (records,
+  /// tombstones), so the rebuilt exchange produces exactly the deltas the
   /// saved one would — and every cross-shard invariant is re-validated:
   /// record ids must cover [0, n) exactly, each record must route to the
   /// shard that stored it, every candidate must be scored in its owner
   /// shard's cache, positives must be owned candidates, components must
-  /// partition consistently. Any violation is a clean error.
+  /// partition consistently and never contain a tombstoned record. Any
+  /// violation is a clean error.
   static Result<std::unique_ptr<ShardedPipeline>> DeserializeFromParts(
       BinaryReader* manifest_body, std::vector<BinaryReader>* shard_bodies,
-      size_t num_threads_override = 0);
+      uint32_t version, size_t num_threads_override = 0);
 
  private:
-  IngestReport IngestImpl(const std::vector<Record>& batch,
+  IngestReport MutateImpl(const std::vector<Record>& adds,
+                          const std::vector<RecordId>& removal_ids,
                           const PairwiseMatcher& matcher);
+
+  Status ValidateRemovals(const std::vector<RecordId>& ids) const;
 
   Status PoisonError() const;
 
@@ -164,6 +206,9 @@ class ShardedPipeline {
   ShardRouter router_;
   std::unique_ptr<ThreadPool> pool_;
   RecordTable records_;
+  /// Liveness per record id (parallel to records_); tombstoned slots stay.
+  std::vector<char> alive_;
+  size_t num_dead_ = 0;
   /// Shard per record id (parallel to records_).
   std::vector<uint32_t> shard_of_record_;
   std::vector<ShardState> shards_;

@@ -245,12 +245,13 @@ GroupStore::ApplyReport GroupStore::Apply(
   return report;
 }
 
-void GroupStore::FillSnapshot(size_t num_records,
+void GroupStore::FillSnapshot(size_t num_records, const std::vector<char>* alive,
                               PipelineResult* result) const {
   // Components (and groups) in the batch pipeline's canonical order:
   // components by smallest contained node — exactly the order a node scan
   // produces — and groups sorted by their smallest node afterwards.
   for (size_t u = 0; u < num_records; ++u) {
+    if (alive != nullptr && !(*alive)[u]) continue;
     const int32_t cid = comp_of_node_[u];
     if (cid < 0) {
       result->pre_cleanup_components.push_back({static_cast<NodeId>(u)});

@@ -90,9 +90,14 @@ class GroupStore {
   /// Fill `result` with pre-cleanup components, groups and cleanup counters
   /// in the batch pipeline's canonical order: components by smallest
   /// contained node (singletons included), groups sorted by smallest node.
-  /// `result->cleanup_stats.seconds` is left untouched (wall-clock is the
-  /// caller's bookkeeping).
-  void FillSnapshot(size_t num_records, PipelineResult* result) const;
+  /// `alive` (optional, size `num_records`) masks out tombstoned records:
+  /// dead records emit no singleton component/group — by the retraction
+  /// invariant they are in no component, so the snapshot is exactly the one
+  /// a from-scratch run on the survivors produces (modulo the monotone id
+  /// compaction). `result->cleanup_stats.seconds` is left untouched
+  /// (wall-clock is the caller's bookkeeping).
+  void FillSnapshot(size_t num_records, const std::vector<char>* alive,
+                    PipelineResult* result) const;
 
   /// Serialize the complete store (membership map, components in sorted id
   /// order with cached groups/counters, next component id). Byte layout is

@@ -28,11 +28,34 @@ Status IncrementalPipeline::status() const {
   return poisoned_ ? PoisonError() : Status::OK();
 }
 
+Status IncrementalPipeline::ValidateRemovals(
+    const std::vector<RecordId>& ids) const {
+  std::unordered_set<RecordId> seen;
+  for (RecordId id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= records_.size()) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": id out of range");
+    }
+    if (!alive_[static_cast<size_t>(id)]) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": already tombstoned");
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("cannot remove record " +
+                                     std::to_string(id) +
+                                     ": duplicated in the removal set");
+    }
+  }
+  return Status::OK();
+}
+
 Result<IngestReport> IncrementalPipeline::Ingest(
     const std::vector<Record>& batch, const PairwiseMatcher& matcher) {
   if (poisoned_) return PoisonError();
   try {
-    return IngestImpl(batch, matcher);
+    return MutateImpl(batch, {}, matcher);
   } catch (const std::exception& e) {
     poisoned_ = true;
     poison_reason_ = std::string("an ingest aborted mid-way: ") + e.what();
@@ -44,11 +67,58 @@ Result<IngestReport> IncrementalPipeline::Ingest(
   }
 }
 
-IngestReport IncrementalPipeline::IngestImpl(const std::vector<Record>& batch,
-                                             const PairwiseMatcher& matcher) {
+Result<IngestReport> IncrementalPipeline::Remove(
+    const std::vector<RecordId>& ids, const PairwiseMatcher& matcher) {
+  if (poisoned_) return PoisonError();
+  GRALMATCH_RETURN_NOT_OK(ValidateRemovals(ids));
+  try {
+    return MutateImpl({}, ids, matcher);
+  } catch (const std::exception& e) {
+    poisoned_ = true;
+    poison_reason_ = std::string("a removal aborted mid-way: ") + e.what();
+    return PoisonError();
+  } catch (...) {
+    poisoned_ = true;
+    poison_reason_ = "a removal aborted mid-way: non-standard exception";
+    return PoisonError();
+  }
+}
+
+Result<IngestReport> IncrementalPipeline::Update(
+    const std::vector<RecordUpdate>& batch, const PairwiseMatcher& matcher) {
+  if (poisoned_) return PoisonError();
+  std::vector<RecordId> ids;
+  std::vector<Record> adds;
+  ids.reserve(batch.size());
+  adds.reserve(batch.size());
+  for (const RecordUpdate& update : batch) {
+    ids.push_back(update.id);
+    adds.push_back(update.record);
+  }
+  GRALMATCH_RETURN_NOT_OK(ValidateRemovals(ids));
+  try {
+    return MutateImpl(adds, ids, matcher);
+  } catch (const std::exception& e) {
+    poisoned_ = true;
+    poison_reason_ = std::string("an update aborted mid-way: ") + e.what();
+    return PoisonError();
+  } catch (...) {
+    poisoned_ = true;
+    poison_reason_ = "an update aborted mid-way: non-standard exception";
+    return PoisonError();
+  }
+}
+
+IngestReport IncrementalPipeline::MutateImpl(
+    const std::vector<Record>& adds, const std::vector<RecordId>& removal_ids,
+    const PairwiseMatcher& matcher) {
   IngestReport report;
-  report.records_added = batch.size();
-  for (const Record& rec : batch) records_.Add(rec);
+  report.records_added = adds.size();
+  report.records_removed = removal_ids.size();
+  for (const Record& rec : adds) records_.Add(rec);
+  alive_.resize(records_.size(), 1);
+  for (RecordId id : removal_ids) alive_[static_cast<size_t>(id)] = 0;
+  num_dead_ += removal_ids.size();
   store_.EnsureNumRecords(records_.size());
 
   // A fingerprint change means every cached score is stale: clear the cache
@@ -58,8 +128,11 @@ IngestReport IncrementalPipeline::IngestImpl(const std::vector<Record>& batch,
   if (rescore_all) score_cache_.clear();
   fingerprint_ = fingerprint;
 
-  // Blocking: fold each index's delta into the candidate set, snapshotting
-  // each touched pair's pre-ingest provenance once.
+  // Blocking: fold each index's deltas into the candidate set, snapshotting
+  // each touched pair's pre-mutation provenance once. Retraction runs
+  // before absorption per index; the candidate transitions below diff the
+  // pre-mutation snapshot against the final state, so they are independent
+  // of this internal order.
   std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_prov;
   auto apply_delta = [&](const CandidateDelta& delta, uint32_t bit) {
     for (const RecordPair& pair : delta.added) {
@@ -74,9 +147,13 @@ IngestReport IncrementalPipeline::IngestImpl(const std::vector<Record>& batch,
     }
   };
   if (config_.use_id_blocker) {
+    apply_delta(id_index_.RemoveRecords(records_, removal_ids, pool_.get()),
+                kBlockerIdOverlap);
     apply_delta(id_index_.AddRecords(records_, pool_.get()), kBlockerIdOverlap);
   }
   if (config_.use_token_blocker) {
+    apply_delta(token_index_.RemoveRecords(records_, removal_ids, pool_.get()),
+                kBlockerTokenOverlap);
     apply_delta(token_index_.AddRecords(records_, pool_.get()),
                 kBlockerTokenOverlap);
   }
@@ -98,6 +175,24 @@ IngestReport IncrementalPipeline::IngestImpl(const std::vector<Record>& batch,
   std::sort(prov_changed.begin(), prov_changed.end());
   report.candidates_added = cand_added.size();
   report.candidates_removed = cand_removed.size();
+
+  // Evict cached scores touching a tombstoned record. Ids never recycle, so
+  // an evicted entry can never be asked for again; surviving entries keep
+  // serving re-admitted pairs. Unaffected pairs are deliberately NOT
+  // rescored — deletion must not spend matcher calls on them.
+  if (!removal_ids.empty() && !score_cache_.empty()) {
+    std::vector<char> removed_now(records_.size(), 0);
+    for (RecordId id : removal_ids) removed_now[static_cast<size_t>(id)] = 1;
+    for (auto it = score_cache_.begin(); it != score_cache_.end();) {
+      if (removed_now[static_cast<size_t>(it->first.a)] ||
+          removed_now[static_cast<size_t>(it->first.b)]) {
+        it = score_cache_.erase(it);
+        ++report.cache_evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
 
   // Scoring: only pairs without a cached score under the current
   // fingerprint reach the matcher. Re-admitted pairs are cache hits.
@@ -180,7 +275,7 @@ Result<PipelineResult> IncrementalPipeline::Snapshot() const {
   PipelineResult result;
   result.predicted_pairs.assign(positives_.begin(), positives_.end());
   std::sort(result.predicted_pairs.begin(), result.predicted_pairs.end());
-  store_.FillSnapshot(records_.size(), &result);
+  store_.FillSnapshot(records_.size(), &alive_, &result);
   result.cleanup_stats.seconds = cleanup_seconds_total_;
   result.inference_seconds = scoring_seconds_total_;
   return result;
@@ -230,6 +325,17 @@ Status IncrementalPipeline::Serialize(BinaryWriter* writer) const {
     }
   }
 
+  // Tombstones: sorted dead record ids. Written only when some record is
+  // dead — a tombstone-free pipeline keeps emitting the pre-tombstone
+  // (version 1) byte layout, and the framing layer stamps the version to
+  // match (serve/checkpoint.h).
+  if (num_dead_ > 0) {
+    writer->WriteU64(num_dead_);
+    for (size_t r = 0; r < alive_.size(); ++r) {
+      if (!alive_[r]) writer->WriteI32(static_cast<RecordId>(r));
+    }
+  }
+
   // Blocking indexes.
   id_index_.SaveState(writer);
   token_index_.SaveState(writer);
@@ -266,7 +372,7 @@ Status IncrementalPipeline::Serialize(BinaryWriter* writer) const {
 }
 
 Result<std::unique_ptr<IncrementalPipeline>> IncrementalPipeline::Deserialize(
-    BinaryReader* reader, size_t num_threads_override) {
+    BinaryReader* reader, uint32_t version, size_t num_threads_override) {
   IncrementalPipelineConfig config;
   uint64_t u = 0;
   GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
@@ -317,6 +423,27 @@ Result<std::unique_ptr<IncrementalPipeline>> IncrementalPipeline::Deserialize(
     pipeline->records_.Add(std::move(rec));
   }
   const size_t n = pipeline->records_.size();
+  pipeline->alive_.assign(n, 1);
+
+  // Tombstone section (format v2+): sorted dead record ids. Version 1
+  // images predate tombstones, so every record is alive.
+  if (version >= 2) {
+    uint64_t dead_count = 0;
+    GRALMATCH_RETURN_NOT_OK(reader->ReadCount(4, &dead_count));
+    RecordId prev = -1;
+    for (uint64_t k = 0; k < dead_count; ++k) {
+      RecordId id = kInvalidRecord;
+      GRALMATCH_RETURN_NOT_OK(reader->ReadI32(&id));
+      if (id <= prev || static_cast<size_t>(id) >= n) {
+        return Status::IOError(
+            "corrupted checkpoint: tombstone ids must be strictly ascending "
+            "record ids");
+      }
+      pipeline->alive_[static_cast<size_t>(id)] = 0;
+      prev = id;
+    }
+    pipeline->num_dead_ = static_cast<size_t>(dead_count);
+  }
 
   GRALMATCH_RETURN_NOT_OK(pipeline->id_index_.LoadState(reader));
   GRALMATCH_RETURN_NOT_OK(pipeline->token_index_.LoadState(reader));
@@ -326,14 +453,24 @@ Result<std::unique_ptr<IncrementalPipeline>> IncrementalPipeline::Deserialize(
         "corrupted checkpoint: blocking index record counts disagree with "
         "the record table");
   }
+  // LoadState defaults every record to alive; the max-df cap tracks the
+  // live count, which only the pipeline's tombstone set knows.
+  pipeline->token_index_.SetNumLive(n - pipeline->num_dead_);
 
   GRALMATCH_RETURN_NOT_OK(reader->ReadString(&pipeline->fingerprint_));
   // Pair ids feed unchecked records_.at() lookups in Ingest, so they are
-  // range-validated here like every other record reference.
-  auto check_pair = [n](const RecordPair& pair) {
+  // range-validated here like every other record reference. Tombstoned
+  // records retract every pair they touch, so a candidate, cached score or
+  // positive referencing one is corruption.
+  auto check_pair = [n, &pipeline](const RecordPair& pair) {
     if (pair.a < 0 || pair.b < 0 || static_cast<size_t>(pair.a) >= n ||
         static_cast<size_t>(pair.b) >= n) {
       return Status::IOError("corrupted checkpoint: record pair out of range");
+    }
+    if (!pipeline->alive_[static_cast<size_t>(pair.a)] ||
+        !pipeline->alive_[static_cast<size_t>(pair.b)]) {
+      return Status::IOError(
+          "corrupted checkpoint: record pair references a tombstoned record");
     }
     return Status::OK();
   };
@@ -438,6 +575,14 @@ Result<std::unique_ptr<IncrementalPipeline>> IncrementalPipeline::Deserialize(
       reader, n, [&pipeline](const RecordPair& pair) {
         return pipeline->positives_.count(pair) > 0;
       }));
+  // A tombstoned record has lost every positive edge, so it must have left
+  // its component (FillSnapshot relies on this to skip dead singletons).
+  for (size_t r = 0; r < n; ++r) {
+    if (!pipeline->alive_[r] && pipeline->store_.comp_of_node()[r] >= 0) {
+      return Status::IOError(
+          "corrupted checkpoint: tombstoned record still inside a component");
+    }
+  }
 
   GRALMATCH_RETURN_NOT_OK(reader->ReadU64(&u));
   pipeline->total_matcher_calls_ = static_cast<size_t>(u);

@@ -3,12 +3,13 @@
 
 /// \file incremental_pipeline.h
 /// Streaming ingestion for the entity-group pipeline. Record batches arrive
-/// via Ingest() and three layers of state update in place instead of being
-/// recomputed from scratch:
+/// via Ingest(), corrections via Update() and deletions via Remove(), and
+/// three layers of state update in place instead of being recomputed from
+/// scratch:
 ///
 ///  1. Blocking: incremental Token/ID Overlap inverted indexes
 ///     (blocking/incremental_index.h) emit only the candidate pairs the
-///     batch adds or retracts.
+///     mutation adds or retracts.
 ///  2. Scoring: a pair-score cache keyed by (record_a, record_b,
 ///     matcher fingerprint) guarantees a pair is sent to the matcher at
 ///     most once while the fingerprint stays the same — re-admitted
@@ -27,6 +28,14 @@
 /// EntityGroupPipeline::Run on the union of all batches with the same
 /// blockers and matcher, at any num_threads. Only the wall-clock fields
 /// differ in meaning: Snapshot() reports times accumulated across ingests.
+///
+/// Schedule-equivalence contract (enforced by tests/crud_test.cc): the
+/// contract survives deletions. Records are tombstoned, never recycled —
+/// the table stays append-only, ids are stable, and a removed record's
+/// payload is retained so its blocking keys can be re-extracted — and after
+/// ANY interleaved Ingest/Update/Remove schedule, Snapshot() equals a
+/// from-scratch run on the surviving records (modulo the monotone id
+/// compaction a fresh run would assign).
 
 #include <cstddef>
 #include <memory>
@@ -60,10 +69,18 @@ struct IncrementalPipelineConfig {
   bool use_id_blocker = true;
 };
 
-/// What one Ingest call did — cache effectiveness and dirty-component
-/// scoping, for observability and tests.
+/// One correction: tombstone the live record `id` and ingest `record` as
+/// its replacement (under a fresh id — ids are never recycled).
+struct RecordUpdate {
+  RecordId id = kInvalidRecord;
+  Record record;
+};
+
+/// What one Ingest/Update/Remove call did — cache effectiveness and
+/// dirty-component scoping, for observability and tests.
 struct IngestReport {
   size_t records_added = 0;
+  size_t records_removed = 0;
   /// Candidate pairs that entered / left the maintained candidate set.
   size_t candidates_added = 0;
   size_t candidates_removed = 0;
@@ -73,6 +90,9 @@ struct IngestReport {
   /// Candidate pairs whose score was served from the cache (pairs that
   /// re-entered the candidate set after a retraction).
   size_t cache_hits = 0;
+  /// Cached scores dropped because an endpoint was tombstoned (ids are
+  /// never recycled, so an evicted entry can never be asked for again).
+  size_t cache_evictions = 0;
   /// Components re-cleaned vs. spliced through unchanged.
   size_t components_rebuilt = 0;
   size_t components_reused = 0;
@@ -107,17 +127,47 @@ class IncrementalPipeline {
   Result<IngestReport> Ingest(const std::vector<Record>& batch,
                               const PairwiseMatcher& matcher);
 
+  /// Tombstone the records in `ids` and bring blocking, scores and groups
+  /// up to date in one dirty pass: their blocking keys are retracted (which
+  /// can *re-admit* candidates a bucket cap or df bound had displaced — the
+  /// matcher scores any such never-scored pair, hence the parameter), their
+  /// cached scores are evicted, and every component that lost a node, an
+  /// edge or a provenance bit is re-cleaned. Ids must be in range, alive
+  /// and unique; violations return InvalidArgument with no state change
+  /// (and no poisoning). Fingerprint and fail-fast semantics as Ingest.
+  Result<IngestReport> Remove(const std::vector<RecordId>& ids,
+                              const PairwiseMatcher& matcher);
+
+  /// Apply corrections: for each entry, tombstone the live record
+  /// `entry.id` and ingest `entry.record` under a fresh id, all in the same
+  /// single dirty pass (exact remove + add — NOT an in-place edit, so every
+  /// downstream invariant is the composition of the two proven paths). Id
+  /// validation, fingerprint and fail-fast semantics as Remove.
+  Result<IngestReport> Update(const std::vector<RecordUpdate>& batch,
+                              const PairwiseMatcher& matcher);
+
   /// Current result, identical to a from-scratch EntityGroupPipeline::Run
-  /// on the union of all ingested batches (see file comment). Wall-clock
-  /// fields report times accumulated across all ingests. Returns the poison
-  /// error after an aborted ingest.
+  /// on the surviving (non-tombstoned) records (see file comment).
+  /// Wall-clock fields report times accumulated across all ingests. Returns
+  /// the poison error after an aborted ingest.
   Result<PipelineResult> Snapshot() const;
 
   /// OK, or the poison error describing why the pipeline must be discarded.
   Status status() const;
 
   /// All ingested records, in ingest order (ids are assigned contiguously).
+  /// Tombstoned records keep their slot and payload — the table is
+  /// append-only; consult alive() for liveness.
   const RecordTable& records() const { return records_; }
+
+  /// Per-record liveness (1 = live, 0 = tombstoned), indexed by record id.
+  const std::vector<char>& alive() const { return alive_; }
+  bool is_alive(RecordId id) const {
+    return id >= 0 && static_cast<size_t>(id) < alive_.size() &&
+           alive_[static_cast<size_t>(id)] != 0;
+  }
+  size_t num_dead() const { return num_dead_; }
+  size_t num_live() const { return records_.size() - num_dead_; }
 
   const IncrementalPipelineConfig& config() const { return config_; }
 
@@ -130,35 +180,50 @@ class IncrementalPipeline {
   /// on load, because the score cache is only valid under its fingerprint.
   const std::string& fingerprint() const { return fingerprint_; }
 
-  /// Serialize the complete pipeline state — config, records, both blocking
-  /// indexes, candidate provenance, the score cache, the match graph's
-  /// positive edges and per-component cleanup results — such that
+  /// Serialize the complete pipeline state — config, records, tombstones,
+  /// both blocking indexes, candidate provenance, the score cache, the
+  /// match graph's positive edges and per-component cleanup results — such
+  /// that
   /// Deserialize()->Snapshot() is bitwise-identical to Snapshot() here and
   /// further Ingest() calls behave exactly as they would have on this
   /// instance. Map-backed state is written in sorted key order, so equal
   /// logical states serialize to equal bytes. Framing (magic, version,
-  /// checksum) is the caller's job; see serve/checkpoint.h. Returns the
-  /// poison error after an aborted ingest (a poisoned state must never
-  /// become a checkpoint).
+  /// checksum) is the caller's job; see serve/checkpoint.h. The tombstone
+  /// section is written only when some record is dead — a tombstone-free
+  /// pipeline emits the pre-tombstone (version 1) byte layout, so the
+  /// framing version is a pure function of this state: see
+  /// serve/checkpoint.h's version stamping. Returns the poison error after
+  /// an aborted ingest (a poisoned state must never become a checkpoint).
   Status Serialize(BinaryWriter* writer) const;
 
-  /// Rebuild a pipeline from Serialize() output. `num_threads_override`
-  /// replaces the serialized thread count when nonzero (thread count never
-  /// affects results, only scheduling). Returns a clean error on truncated
-  /// or inconsistent input.
+  /// Rebuild a pipeline from Serialize() output. `version` is the framed
+  /// format version the caller parsed (1 = pre-tombstone layout, 2 = with
+  /// the tombstone section). `num_threads_override` replaces the serialized
+  /// thread count when nonzero (thread count never affects results, only
+  /// scheduling). Returns a clean error on truncated or inconsistent input.
   static Result<std::unique_ptr<IncrementalPipeline>> Deserialize(
-      BinaryReader* reader, size_t num_threads_override = 0);
+      BinaryReader* reader, uint32_t version, size_t num_threads_override = 0);
 
  private:
-  /// The whole ingest path; Ingest wraps it with the poison fail-fast.
-  IngestReport IngestImpl(const std::vector<Record>& batch,
+  /// The whole mutation path shared by Ingest (no removals), Remove (no
+  /// adds) and Update (both, one pass); the public entry points wrap it
+  /// with id validation and the poison fail-fast.
+  IngestReport MutateImpl(const std::vector<Record>& adds,
+                          const std::vector<RecordId>& removal_ids,
                           const PairwiseMatcher& matcher);
+
+  /// Removal ids must be in range, alive and duplicate-free — checked
+  /// before any state changes so a bad call is rejected without poisoning.
+  Status ValidateRemovals(const std::vector<RecordId>& ids) const;
 
   Status PoisonError() const;
 
   IncrementalPipelineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   RecordTable records_;
+  /// Liveness per record id; tombstoned slots stay (ids never recycle).
+  std::vector<char> alive_;
+  size_t num_dead_ = 0;
 
   IncrementalIdOverlapIndex id_index_;
   IncrementalTokenOverlapIndex token_index_;

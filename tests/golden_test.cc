@@ -25,6 +25,7 @@
 #include "eval/metrics.h"
 #include "matching/baselines.h"
 #include "matching/cascade_matcher.h"
+#include "stream/incremental_pipeline.h"
 #include "text/normalize.h"
 
 namespace gralmatch {
@@ -220,6 +221,85 @@ TEST(GoldenFinancial, CascadeQualityDeltaPinned) {
       result.predicted_pairs.size(), result.groups.size(),
       static_cast<size_t>(post.tp), static_cast<size_t>(post.fp),
       static_cast<size_t>(post.fn));
+}
+
+TEST(GoldenFinancial, CorrectionScheduleMetricsPinned) {
+  // Full CRUD streaming on the pinned fixture: ingest everything, then a
+  // fixed correction schedule — two deletion waves over the security table.
+  // Pins the post-delete quality (deleted records' truth pairs become
+  // unreachable, so they count against recall) and the exact bookkeeping of
+  // the removal path: retracted candidates, evicted cache entries, and the
+  // cleanup work of the from-scratch-equivalent snapshot. A change that
+  // silently shifts what deletion retracts or re-cleans fails here loudly.
+  SyntheticConfig config;
+  config.seed = 505;
+  config.num_groups = 250;
+  FinancialBenchmark bench = FinancialGenerator(config).Generate();
+
+  IncrementalPipelineConfig stream_config;
+  stream_config.pipeline.cleanup.gamma = 25;
+  stream_config.pipeline.cleanup.mu = 5;
+  stream_config.pipeline.pre_cleanup_threshold = 50;
+  stream_config.token.top_n = 5;
+  IncrementalPipeline pipeline(stream_config);
+  HeuristicIdMatcher matcher;
+
+  std::vector<Record> all;
+  for (size_t i = 0; i < bench.securities.records.size(); ++i) {
+    all.push_back(bench.securities.records.at(static_cast<RecordId>(i)));
+  }
+  ASSERT_TRUE(pipeline.Ingest(all, matcher).ok());
+
+  // Wave 1: every 7th record. Wave 2: every 11th offset by 1, skipping ids
+  // wave 1 already killed.
+  std::vector<RecordId> wave1, wave2;
+  for (size_t i = 0; i < all.size(); i += 7) {
+    wave1.push_back(static_cast<RecordId>(i));
+  }
+  for (size_t i = 1; i < all.size(); i += 11) {
+    if (i % 7 != 0) wave2.push_back(static_cast<RecordId>(i));
+  }
+  IngestReport report1 = pipeline.Remove(wave1, matcher).ValueOrDie();
+  IngestReport report2 = pipeline.Remove(wave2, matcher).ValueOrDie();
+
+  EXPECT_EQ(report1.candidates_removed, 520u);
+  EXPECT_EQ(report1.cache_evictions, 520u);
+  EXPECT_EQ(report2.candidates_removed, 242u);
+  EXPECT_EQ(report2.cache_evictions, 241u);
+
+  PipelineResult result = pipeline.Snapshot().ValueOrDie();
+  EXPECT_EQ(result.predicted_pairs.size(), 728u);
+  EXPECT_EQ(result.groups.size(), 469u);
+  EXPECT_EQ(result.cleanup_stats.pre_cleanup_edges_removed, 0u);
+  EXPECT_EQ(result.cleanup_stats.min_cut_calls, 0u);
+  EXPECT_EQ(result.cleanup_stats.min_cut_edges_removed, 0u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_calls, 22u);
+  EXPECT_EQ(result.cleanup_stats.betweenness_edges_removed, 22u);
+
+  const PrfMetrics post = GroupPrf(result.groups, bench.securities.truth);
+  EXPECT_EQ(post.tp, 709u);
+  EXPECT_EQ(post.fp, 21u);
+  EXPECT_EQ(post.fn, 886u);
+  EXPECT_NEAR(post.Precision(), 0.9712328767, 1e-9);
+  EXPECT_NEAR(post.Recall(), 0.4445141066, 1e-9);
+  EXPECT_NEAR(post.F1(), 0.6098924731, 1e-9);
+
+  // Re-derivation printout (see file header):
+  std::printf(
+      "corrections: w1_cand_removed=%zu w1_evicted=%zu w2_cand_removed=%zu "
+      "w2_evicted=%zu pairs=%zu groups=%zu pre_removed=%zu mincut=%zu/%zu "
+      "betw=%zu/%zu tp=%zu fp=%zu fn=%zu P=%.10f R=%.10f F1=%.10f\n",
+      report1.candidates_removed, report1.cache_evictions,
+      report2.candidates_removed, report2.cache_evictions,
+      result.predicted_pairs.size(), result.groups.size(),
+      result.cleanup_stats.pre_cleanup_edges_removed,
+      result.cleanup_stats.min_cut_calls,
+      result.cleanup_stats.min_cut_edges_removed,
+      result.cleanup_stats.betweenness_calls,
+      result.cleanup_stats.betweenness_edges_removed,
+      static_cast<size_t>(post.tp), static_cast<size_t>(post.fp),
+      static_cast<size_t>(post.fn), post.Precision(), post.Recall(),
+      post.F1());
 }
 
 TEST(GoldenWdc, PerfectPredictionsCleanupMetricsPinned) {

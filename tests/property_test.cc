@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "blocking/id_overlap.h"
+#include "blocking/incremental_index.h"
 #include "blocking/issuer_match.h"
 #include "common/union_find.h"
 #include "blocking/token_overlap.h"
@@ -346,6 +347,282 @@ TEST_P(BlockingPropertyTest, IssuerMatchRespectsGroups) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockingPropertyTest,
                          ::testing::Values(3u, 44u, 5055u));
+
+// ---------------------------------------------------------------------------
+// Retraction edge cases: the incremental blocking indexes after
+// RemoveRecords must equal the batch blocker run on the survivors, through
+// the non-monotone boundaries — df caps moving with the live count, buckets
+// emptying, and previously overflowed buckets shrinking back under the cap.
+// ---------------------------------------------------------------------------
+
+Record TokenRecord(SourceId source, const std::string& text) {
+  Record rec(source, RecordKind::kSecurity);
+  rec.Set("name", text);
+  return rec;
+}
+
+Record IdRecord(SourceId source, const std::string& isin) {
+  Record rec(source, RecordKind::kSecurity);
+  rec.Set("isin", isin);
+  return rec;
+}
+
+std::vector<RecordPair> SortedPairs(std::vector<RecordPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Batch blocker run on the compacted survivor table, pairs remapped back
+/// to the original sparse ids (the compact->original map is monotone, so
+/// pair ordering is preserved).
+std::vector<RecordPair> BatchPairsOnSurvivors(const RecordTable& records,
+                                              const std::vector<char>& alive,
+                                              const Blocker& blocker) {
+  Dataset survivors;
+  std::vector<RecordId> original;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!alive[i]) continue;
+    survivors.records.Add(records.at(static_cast<RecordId>(i)));
+    original.push_back(static_cast<RecordId>(i));
+  }
+  CandidateSet candidates;
+  blocker.AddCandidates(survivors, &candidates);
+  std::vector<RecordPair> pairs;
+  for (const auto& cand : candidates.ToVector()) {
+    RecordPair pair;
+    pair.a = original[static_cast<size_t>(cand.pair.a)];
+    pair.b = original[static_cast<size_t>(cand.pair.b)];
+    pairs.push_back(pair);
+  }
+  return SortedPairs(std::move(pairs));
+}
+
+RecordPair MakePair(RecordId a, RecordId b) {
+  RecordPair pair;
+  pair.a = std::min(a, b);
+  pair.b = std::max(a, b);
+  return pair;
+}
+
+TEST(RetractionEdgeCases, DfCapDropRetractsAndHolderDeletionReadmits) {
+  // The token df cap is floor(max_token_df * num_live) + 1: deletions move
+  // it even when no holder of a token dies, and a holder's death can pull a
+  // token's df back UNDER the cap, re-admitting pairs.
+  TokenOverlapBlocker::Options options;
+  options.top_n = 10;
+  options.min_overlap = 1;
+  options.max_token_df = 0.5;
+  IncrementalTokenOverlapIndex index(options);
+  TokenOverlapBlocker batch(options);
+
+  // r0..r3 share "anchor" (sources alternate), r4..r11 hold only a unique
+  // filler token each (df 1, never eligible).
+  RecordTable records;
+  std::vector<char> alive;
+  for (size_t i = 0; i < 12; ++i) {
+    const std::string filler = "filler" + std::string(1, char('a' + i));
+    const std::string text = i < 4 ? "anchor " + filler : filler;
+    records.Add(TokenRecord(static_cast<SourceId>(i % 2), text));
+    alive.push_back(1);
+  }
+  index.AddRecords(records);
+  // live 12 -> cap 7, df(anchor) = 4: all cross-source anchor pairs.
+  const std::vector<RecordPair> anchor_pairs = {MakePair(0, 1), MakePair(0, 3),
+                                                MakePair(1, 2), MakePair(2, 3)};
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()), anchor_pairs);
+
+  // Deleting seven filler records — NONE holds "anchor" — drops the live
+  // count to 5 and the cap to 3 < df: every anchor pair retracts.
+  std::vector<RecordId> pads = {4, 5, 6, 7, 8, 9, 10};
+  for (RecordId id : pads) alive[static_cast<size_t>(id)] = 0;
+  CandidateDelta delta = index.RemoveRecords(records, pads);
+  EXPECT_EQ(SortedPairs(delta.removed), anchor_pairs);
+  EXPECT_TRUE(index.CurrentPairs().empty());
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchPairsOnSurvivors(records, alive, batch));
+
+  // Deleting an anchor HOLDER drops df to 3 = cap: the token is re-admitted
+  // and the surviving holders' pairs come back.
+  alive[3] = 0;
+  delta = index.RemoveRecords(records, {3});
+  const std::vector<RecordPair> readmitted = {MakePair(0, 1), MakePair(1, 2)};
+  EXPECT_EQ(SortedPairs(delta.added), readmitted);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()), readmitted);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchPairsOnSurvivors(records, alive, batch));
+}
+
+TEST(RetractionEdgeCases, DeletingLastBucketMemberLeavesNoResidue) {
+  IncrementalIdOverlapIndex index;
+  IdOverlapBlocker batch;
+  RecordTable records;
+  std::vector<char> alive;
+  records.Add(IdRecord(0, "VV0011"));
+  records.Add(IdRecord(1, "VV0011"));
+  records.Add(IdRecord(0, "XX9999"));
+  alive.assign(3, 1);
+  index.AddRecords(records);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            std::vector<RecordPair>{MakePair(0, 1)});
+
+  // Deleting one holder leaves a single-member bucket: the pair retracts.
+  alive[1] = 0;
+  CandidateDelta delta = index.RemoveRecords(records, {1});
+  EXPECT_EQ(SortedPairs(delta.removed), std::vector<RecordPair>{MakePair(0, 1)});
+  EXPECT_TRUE(index.CurrentPairs().empty());
+
+  // Deleting the LAST member empties the bucket without residue: fresh
+  // holders of the same value later pair only with each other, never with
+  // the dead.
+  alive[0] = 0;
+  delta = index.RemoveRecords(records, {0});
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(delta.removed.empty());
+  records.Add(IdRecord(0, "VV0011"));
+  records.Add(IdRecord(1, "VV0011"));
+  alive.push_back(1);
+  alive.push_back(1);
+  delta = index.AddRecords(records);
+  EXPECT_EQ(SortedPairs(delta.added), std::vector<RecordPair>{MakePair(3, 4)});
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            std::vector<RecordPair>{MakePair(3, 4)});
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+            BatchPairsOnSurvivors(records, alive, batch));
+}
+
+TEST(RetractionEdgeCases, RetractionReadmitsOverflowedBucket) {
+  // Four holders under max_bucket 3 overflow the bucket (zero pairs);
+  // removing one shrinks it back inside the cap and re-admits every
+  // cross-source pair among the survivors.
+  IncrementalIdOverlapIndex index(/*max_bucket=*/3);
+  RecordTable records;
+  for (size_t i = 0; i < 4; ++i) {
+    records.Add(IdRecord(static_cast<SourceId>(i % 2), "SHARED01"));
+  }
+  CandidateDelta delta = index.AddRecords(records);
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(index.CurrentPairs().empty());
+
+  delta = index.RemoveRecords(records, {3});
+  const std::vector<RecordPair> readmitted = {MakePair(0, 1), MakePair(1, 2)};
+  EXPECT_EQ(SortedPairs(delta.added), readmitted);
+  EXPECT_EQ(SortedPairs(index.CurrentPairs()), readmitted);
+
+  // Growing past the cap again retracts the re-admitted pairs.
+  records.Add(IdRecord(1, "SHARED01"));
+  delta = index.AddRecords(records);
+  EXPECT_EQ(SortedPairs(delta.removed), readmitted);
+  EXPECT_TRUE(index.CurrentPairs().empty());
+}
+
+class RetractionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RetractionPropertyTest, TokenIndexMatchesBatchOnSurvivorsUnderChurn) {
+  // Random interleaved adds/removes over a tiny vocabulary (so document
+  // frequencies keep crossing the moving cap): after every mutation the
+  // index's pair set must equal the batch blocker on the survivors, and
+  // the reported deltas must replay into exactly that set.
+  Rng rng(GetParam());
+  TokenOverlapBlocker::Options options;
+  options.top_n = 3;
+  options.min_overlap = 1;
+  options.max_token_df = 0.4;
+  IncrementalTokenOverlapIndex index(options);
+  TokenOverlapBlocker batch(options);
+  const std::vector<std::string> vocab = {"alpha", "bravo",  "carbon",
+                                          "delta", "echo",   "foxtrot",
+                                          "grain", "hollow"};
+  RecordTable records;
+  std::vector<char> alive;
+  std::vector<RecordId> live;
+  std::set<RecordPair> replayed;
+  auto apply = [&replayed](const CandidateDelta& delta) {
+    for (const RecordPair& pair : delta.removed) {
+      ASSERT_EQ(replayed.erase(pair), 1u) << "removed a pair not present";
+    }
+    for (const RecordPair& pair : delta.added) {
+      ASSERT_TRUE(replayed.insert(pair).second) << "added a duplicate pair";
+    }
+  };
+  for (size_t step = 0; step < 24; ++step) {
+    if (live.size() < 3 || rng.Bernoulli(0.6)) {
+      const size_t count = 1 + rng.Uniform(3);
+      for (size_t k = 0; k < count; ++k) {
+        std::string text;
+        const size_t words = 2 + rng.Uniform(3);
+        for (size_t w = 0; w < words; ++w) {
+          if (!text.empty()) text.push_back(' ');
+          text += vocab[rng.Uniform(vocab.size())];
+        }
+        live.push_back(static_cast<RecordId>(records.size()));
+        records.Add(TokenRecord(static_cast<SourceId>(rng.Uniform(2)), text));
+        alive.push_back(1);
+      }
+      apply(index.AddRecords(records));
+    } else {
+      std::vector<RecordId> doomed;
+      const size_t count = 1 + rng.Uniform(2);
+      for (size_t k = 0; k < count && !live.empty(); ++k) {
+        const size_t pick = rng.Uniform(live.size());
+        doomed.push_back(live[pick]);
+        alive[static_cast<size_t>(live[pick])] = 0;
+        live[pick] = live.back();
+        live.pop_back();
+      }
+      apply(index.RemoveRecords(records, doomed));
+    }
+    const std::vector<RecordPair> current = SortedPairs(index.CurrentPairs());
+    EXPECT_EQ(current, BatchPairsOnSurvivors(records, alive, batch))
+        << "step " << step;
+    EXPECT_EQ(current,
+              std::vector<RecordPair>(replayed.begin(), replayed.end()))
+        << "step " << step;
+  }
+}
+
+TEST_P(RetractionPropertyTest, IdIndexMatchesBatchOnSurvivorsUnderChurn) {
+  Rng rng(GetParam());
+  IncrementalIdOverlapIndex index;
+  IdOverlapBlocker batch;
+  const std::vector<std::string> values = {"AA11", "BB22", "CC33",
+                                           "DD44", "EE55"};
+  RecordTable records;
+  std::vector<char> alive;
+  std::vector<RecordId> live;
+  for (size_t step = 0; step < 24; ++step) {
+    if (live.size() < 3 || rng.Bernoulli(0.55)) {
+      const size_t count = 1 + rng.Uniform(3);
+      for (size_t k = 0; k < count; ++k) {
+        Record rec = IdRecord(static_cast<SourceId>(rng.Uniform(2)),
+                              values[rng.Uniform(values.size())]);
+        if (rng.Bernoulli(0.3)) {
+          rec.Set("cusip", values[rng.Uniform(values.size())]);
+        }
+        live.push_back(static_cast<RecordId>(records.size()));
+        records.Add(std::move(rec));
+        alive.push_back(1);
+      }
+      index.AddRecords(records);
+    } else {
+      std::vector<RecordId> doomed;
+      const size_t count = 1 + rng.Uniform(2);
+      for (size_t k = 0; k < count && !live.empty(); ++k) {
+        const size_t pick = rng.Uniform(live.size());
+        doomed.push_back(live[pick]);
+        alive[static_cast<size_t>(live[pick])] = 0;
+        live[pick] = live.back();
+        live.pop_back();
+      }
+      index.RemoveRecords(records, doomed);
+    }
+    EXPECT_EQ(SortedPairs(index.CurrentPairs()),
+              BatchPairsOnSurvivors(records, alive, batch))
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetractionPropertyTest,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
 
 // ---------------------------------------------------------------------------
 // Generator well-formedness across seeds and artifact mixes.

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "blocking/id_overlap.h"
+#include "common/binary_io.h"
 #include "blocking/token_overlap.h"
 #include "core/pipeline.h"
 #include "datagen/financial_gen.h"
@@ -451,6 +452,147 @@ TEST_F(CheckpointCorruptionTest, MissingFileFailsCleanly) {
   auto result = LoadCheckpoint("/nonexistent/dir/pipeline.ckpt", matcher);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone sections (format v2): corruption within the tombstone bytes must
+// fail as a clean Status, and pre-tombstone (version 1) images must keep
+// loading — a tombstone-free pipeline emits the version 1 layout
+// byte-for-byte, so the fixture of the suite above doubles as genuine v1
+// coverage; this suite pins the v2 side.
+// ---------------------------------------------------------------------------
+
+class TombstoneCheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  // The removal set {11, 22, 33} makes the serialized tombstone section
+  // start with a 16-byte sequence (u64 count 3, i32 ids 11, 22, 33) the
+  // fixture asserts is unique in the image, so tests can corrupt tombstone
+  // bytes specifically.
+  static constexpr size_t kTombstonePatternLength = 20;
+
+  static void SetUpTestSuite() {
+    const std::vector<Record> records = FinancialRecords(40);
+    JaccardMatcher matcher;
+    IncrementalPipeline pipeline(ServeConfig(1));
+    IngestAll(&pipeline, records, 0, records.size(), 3, matcher);
+    pipeline.Remove({11, 22, 33}, matcher).ValueOrDie();
+    image_ = new std::string(SerializeCheckpoint(pipeline).ValueOrDie());
+
+    BinaryWriter pattern;
+    pattern.WriteU64(3);
+    pattern.WriteI32(11);
+    pattern.WriteI32(22);
+    pattern.WriteI32(33);
+    const size_t first = image_->find(pattern.buffer());
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_EQ(image_->find(pattern.buffer(), first + 1), std::string::npos)
+        << "tombstone byte pattern is not unique; pick different ids";
+    tombstone_offset_ = first;
+  }
+  static void TearDownTestSuite() {
+    delete image_;
+    image_ = nullptr;
+  }
+
+  /// Recompute the trailing whole-image checksum after a deliberate patch,
+  /// so the corruption reaches the structural validators instead of being
+  /// masked by the checksum check.
+  static std::string WithFixedChecksum(std::string image) {
+    image.resize(image.size() - 8);
+    BinaryWriter fixed;
+    fixed.WriteBytes(image.data(), image.size());
+    fixed.WriteU64(Fnv1a64(std::string_view(image)));
+    return fixed.buffer();
+  }
+
+  static std::string* image_;
+  static size_t tombstone_offset_;
+};
+
+std::string* TombstoneCheckpointCorruptionTest::image_ = nullptr;
+size_t TombstoneCheckpointCorruptionTest::tombstone_offset_ = 0;
+
+TEST_F(TombstoneCheckpointCorruptionTest, TombstonedImagesStampVersionTwo) {
+  EXPECT_EQ(static_cast<uint32_t>(static_cast<uint8_t>((*image_)[8])),
+            kCheckpointVersion);
+  JaccardMatcher matcher;
+  auto restored = ParseCheckpoint(*image_, matcher).ValueOrDie();
+  EXPECT_EQ(restored->num_dead(), 3u);
+  EXPECT_FALSE(restored->is_alive(11));
+  EXPECT_FALSE(restored->is_alive(22));
+  EXPECT_FALSE(restored->is_alive(33));
+  EXPECT_EQ(SerializeCheckpoint(*restored).ValueOrDie(), *image_);
+}
+
+TEST_F(TombstoneCheckpointCorruptionTest, TruncationAtAnyPrefixFailsCleanly) {
+  JaccardMatcher matcher;
+  std::vector<size_t> lengths;
+  for (size_t k = 0; k < 64 && k < image_->size(); ++k) lengths.push_back(k);
+  for (size_t k = 64; k < image_->size(); k += image_->size() / 37 + 1) {
+    lengths.push_back(k);
+  }
+  // Cuts inside the tombstone section itself.
+  for (size_t k = 0; k <= kTombstonePatternLength; k += 3) {
+    lengths.push_back(tombstone_offset_ + k);
+  }
+  lengths.push_back(image_->size() - 1);
+  for (size_t len : lengths) {
+    auto result = ParseCheckpoint(image_->substr(0, len), matcher);
+    EXPECT_FALSE(result.ok()) << "prefix length " << len;
+  }
+}
+
+TEST_F(TombstoneCheckpointCorruptionTest, TombstoneBitFlipCaughtByChecksum) {
+  JaccardMatcher matcher;
+  for (size_t k = 0; k < kTombstonePatternLength; k += 2) {
+    std::string image = *image_;
+    image[tombstone_offset_ + k] ^= 0x01;
+    auto result = ParseCheckpoint(image, matcher);
+    ASSERT_FALSE(result.ok()) << "flip at tombstone byte " << k;
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST_F(TombstoneCheckpointCorruptionTest,
+       StructurallyInvalidTombstonesRejectedPastTheChecksum) {
+  // With the checksum recomputed, the patch must be caught by the tombstone
+  // section's own validation: ids strictly ascending and in range.
+  JaccardMatcher matcher;
+
+  std::string reordered = *image_;
+  reordered[tombstone_offset_ + 12] = 11;  // second id 22 -> 11 (duplicate)
+  auto result = ParseCheckpoint(WithFixedChecksum(reordered), matcher);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("ascending"), std::string::npos);
+
+  std::string out_of_range = *image_;
+  out_of_range[tombstone_offset_ + 16] = 0x7f;  // third id 33 -> huge
+  out_of_range[tombstone_offset_ + 17] = 0x7f;
+  result = ParseCheckpoint(WithFixedChecksum(out_of_range), matcher);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TombstoneCheckpointCorruptionTest,
+       PreTombstoneCheckpointsStillLoadAndRoundTrip) {
+  // A tombstone-free pipeline serializes the version 1 layout byte for
+  // byte — exactly what a pre-tombstone writer produced — and a v1 image
+  // must load, round-trip, and accept removals (restamping v2) afterwards.
+  const std::vector<Record> records = FinancialRecords(40);
+  JaccardMatcher matcher;
+  IncrementalPipeline pipeline(ServeConfig(1));
+  IngestAll(&pipeline, records, 0, records.size(), 3, matcher);
+  const std::string v1_image = SerializeCheckpoint(pipeline).ValueOrDie();
+  EXPECT_EQ(static_cast<uint32_t>(static_cast<uint8_t>(v1_image[8])), 1u);
+
+  auto restored = ParseCheckpoint(v1_image, matcher).ValueOrDie();
+  EXPECT_EQ(restored->num_dead(), 0u);
+  EXPECT_EQ(SerializeCheckpoint(*restored).ValueOrDie(), v1_image);
+
+  ASSERT_TRUE(restored->Remove({0}, matcher).ok());
+  const std::string v2_image = SerializeCheckpoint(*restored).ValueOrDie();
+  EXPECT_EQ(static_cast<uint32_t>(static_cast<uint8_t>(v2_image[8])), 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -820,5 +820,267 @@ TEST_F(ShardedCheckpointCorruptionTest, FutureManifestVersionFailsCleanly) {
   EXPECT_NE(restored.status().message().find("newer"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Tombstone sections in sharded checkpoints (format v2): version stamping,
+// corruption inside the new section, and version-mix rejection. The
+// corruption tests repair every framing layer the loader checks first (the
+// file's trailing checksum, its content-addressed name, the manifest's
+// recorded checksum, the manifest's trailing checksum) so the patched
+// tombstone bytes themselves are all that remains wrong.
+// ---------------------------------------------------------------------------
+
+class TombstoneShardedCheckpointTest : public FinancialShard {
+ protected:
+  /// Save a 2-shard checkpoint of the first half of the fixture with five
+  /// records removed, so each shard file carries a tombstone section.
+  void SaveTombstonedFixture(const std::string& dir) {
+    JaccardMatcher matcher;
+    ShardedPipeline sharded(ShardConfig(2, 1, 0.25));
+    const size_t half = records_->size() / 2;
+    std::vector<Record> first(records_->begin(),
+                              records_->begin() + static_cast<long>(half));
+    ASSERT_TRUE(sharded.Ingest(first, matcher).ok());
+    auto removed = sharded.Remove({3, 14, 25, 36, 47}, matcher);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    ASSERT_EQ(sharded.num_dead(), 5u);
+    ASSERT_TRUE(SaveShardedCheckpoint(sharded, dir).ok());
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteFile(const std::string& path, const std::string& image) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+
+  static uint64_t ReadU64At(const std::string& image, size_t pos) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(image[pos + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  static void WriteU64At(std::string* image, size_t pos, uint64_t v) {
+    for (size_t i = 0; i < 8; ++i) {
+      (*image)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  }
+
+  static std::string EncodeI32(int32_t v) {
+    std::string bytes(4, '\0');
+    for (size_t i = 0; i < 4; ++i) {
+      bytes[i] = static_cast<char>(
+          (static_cast<uint32_t>(v) >> (8 * i)) & 0xff);
+    }
+    return bytes;
+  }
+
+  /// Walk a shard-file image past the record section to the tombstone
+  /// section (format v2): returns its byte offset, the decoded tombstone
+  /// ids, and the record ids this shard owns.
+  static void LocateTombstones(const std::string& image, size_t* offset,
+                               std::vector<int32_t>* tombstones,
+                               std::vector<int32_t>* owned) {
+    size_t pos = 24;  // magic 8, version u32, shard index u32, body size u64
+    const uint64_t num_records = ReadU64At(image, pos);
+    pos += 8;
+    owned->clear();
+    for (uint64_t k = 0; k < num_records; ++k) {
+      owned->push_back(static_cast<int32_t>(
+          static_cast<uint32_t>(ReadU64At(image, pos) & 0xffffffffu)));
+      pos += 4 + 4 + 1;  // id i32, source i32, kind u8
+      const uint64_t num_attrs = ReadU64At(image, pos);
+      pos += 8;
+      for (uint64_t a = 0; a < 2 * num_attrs; ++a) {
+        pos += 8 + static_cast<size_t>(ReadU64At(image, pos));
+      }
+      ASSERT_LT(pos, image.size());
+    }
+    *offset = pos;
+    const uint64_t num_dead = ReadU64At(image, pos);
+    pos += 8;
+    tombstones->clear();
+    for (uint64_t k = 0; k < num_dead; ++k) {
+      tombstones->push_back(static_cast<int32_t>(
+          static_cast<uint32_t>(ReadU64At(image, pos) & 0xffffffffu)));
+      pos += 4;
+    }
+  }
+
+  /// Overwrite `replacement.size()` bytes of shard `s`'s file at `pos`,
+  /// then repair the framing: the file's trailing checksum, its
+  /// content-addressed name, and the manifest's checksum for the shard.
+  static void RewriteShardFile(const std::string& dir, size_t s, size_t pos,
+                               const std::string& replacement) {
+    const std::vector<std::string> paths = ShardFilePaths(dir).ValueOrDie();
+    std::string image = ReadFile(paths[s]);
+    ASSERT_LE(pos + replacement.size(), image.size() - 8);
+    image.replace(pos, replacement.size(), replacement);
+    image.resize(image.size() - 8);
+    BinaryWriter fixed;
+    fixed.WriteBytes(image.data(), image.size());
+    fixed.WriteU64(Fnv1a64(std::string_view(image)));
+    const uint64_t checksum = Fnv1a64(fixed.buffer());
+    ASSERT_EQ(std::remove(paths[s].c_str()), 0);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    WriteFile(dir + "/shard-" + std::to_string(s) + "-" + hex + ".grlm",
+              fixed.buffer());
+
+    // Manifest layout: magic 8, version u32, fingerprint (u64 length +
+    // bytes), u64 shard count, then the checksum list.
+    std::string manifest = ReadFile(ShardedManifestPath(dir));
+    const size_t fingerprint_len = static_cast<size_t>(ReadU64At(manifest, 12));
+    WriteU64At(&manifest, 28 + fingerprint_len + 8 * s, checksum);
+    manifest.resize(manifest.size() - 8);
+    BinaryWriter fixed_manifest;
+    fixed_manifest.WriteBytes(manifest.data(), manifest.size());
+    fixed_manifest.WriteU64(Fnv1a64(std::string_view(manifest)));
+    WriteFile(ShardedManifestPath(dir), fixed_manifest.buffer());
+  }
+};
+
+TEST_F(TombstoneShardedCheckpointTest, TombstonedFilesStampVersionTwo) {
+  const std::string dir = TempDirFor("shard_tomb_version");
+  SaveTombstonedFixture(dir);
+  EXPECT_EQ(ReadFile(ShardedManifestPath(dir))[8], 2);
+  std::vector<int32_t> all_tombstones;
+  const std::vector<std::string> paths = ShardFilePaths(dir).ValueOrDie();
+  for (const std::string& path : paths) {
+    const std::string image = ReadFile(path);
+    EXPECT_EQ(image[8], 2);
+    size_t offset = 0;
+    std::vector<int32_t> tombstones, owned;
+    LocateTombstones(image, &offset, &tombstones, &owned);
+    all_tombstones.insert(all_tombstones.end(), tombstones.begin(),
+                          tombstones.end());
+  }
+  // Every removed id is tombstoned in exactly its owner shard's file.
+  std::sort(all_tombstones.begin(), all_tombstones.end());
+  EXPECT_EQ(all_tombstones, (std::vector<int32_t>{3, 14, 25, 36, 47}));
+
+  JaccardMatcher matcher;
+  auto restored = LoadShardedCheckpoint(dir, matcher);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->num_dead(), 5u);
+  EXPECT_FALSE((*restored)->is_alive(25));
+}
+
+TEST_F(TombstoneShardedCheckpointTest, TombstoneBitFlipFailsCleanly) {
+  const std::string dir = TempDirFor("shard_tomb_flip");
+  SaveTombstonedFixture(dir);
+  const std::string path = ShardFilePaths(dir).ValueOrDie()[0];
+  const std::string image = ReadFile(path);
+  size_t offset = 0;
+  std::vector<int32_t> tombstones, owned;
+  LocateTombstones(image, &offset, &tombstones, &owned);
+  ASSERT_FALSE(tombstones.empty());
+  // A raw flip inside the tombstone section (no framing repair) is caught
+  // by the manifest's recorded checksum before the section is parsed.
+  FlipByte(path, image.size() - 1 - (offset + 8));
+  JaccardMatcher matcher;
+  auto restored = LoadShardedCheckpoint(dir, matcher);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("does not match the manifest"),
+            std::string::npos);
+}
+
+TEST_F(TombstoneShardedCheckpointTest,
+       StructurallyInvalidTombstonesRejectedPastTheFraming) {
+  JaccardMatcher matcher;
+
+  // Duplicate id: copy the first tombstone over the second in a shard
+  // whose file holds at least two.
+  {
+    const std::string dir = TempDirFor("shard_tomb_dup");
+    SaveTombstonedFixture(dir);
+    for (size_t s = 0; s < 2; ++s) {
+      const std::string image =
+          ReadFile(ShardFilePaths(dir).ValueOrDie()[s]);
+      size_t offset = 0;
+      std::vector<int32_t> tombstones, owned;
+      LocateTombstones(image, &offset, &tombstones, &owned);
+      if (tombstones.size() < 2) continue;
+      RewriteShardFile(dir, s, offset + 8 + 4, EncodeI32(tombstones[0]));
+      auto restored = LoadShardedCheckpoint(dir, matcher);
+      ASSERT_FALSE(restored.ok());
+      EXPECT_NE(restored.status().message().find("ascending"),
+                std::string::npos);
+      break;
+    }
+  }
+
+  // A tombstone for a record the shard does not store.
+  {
+    const std::string dir = TempDirFor("shard_tomb_foreign");
+    SaveTombstonedFixture(dir);
+    const std::string image = ReadFile(ShardFilePaths(dir).ValueOrDie()[0]);
+    size_t offset = 0;
+    std::vector<int32_t> tombstones, owned;
+    LocateTombstones(image, &offset, &tombstones, &owned);
+    ASSERT_FALSE(tombstones.empty());
+    int32_t foreign = 0;
+    while (std::binary_search(owned.begin(), owned.end(), foreign)) ++foreign;
+    RewriteShardFile(dir, 0, offset + 8, EncodeI32(foreign));
+    auto restored = LoadShardedCheckpoint(dir, matcher);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_NE(restored.status().message().find("does not store"),
+              std::string::npos);
+  }
+}
+
+TEST_F(TombstoneShardedCheckpointTest, MixedVersionShardFilesRejected) {
+  // A version 1 shard file under a version 2 manifest is a stale file, not
+  // a layout choice: rejected even with every checksum intact.
+  const std::string dir = TempDirFor("shard_tomb_mixed");
+  SaveTombstonedFixture(dir);
+  RewriteShardFile(dir, 1, 8, std::string(1, '\x01'));
+  JaccardMatcher matcher;
+  auto restored = LoadShardedCheckpoint(dir, matcher);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("must share one version"),
+            std::string::npos);
+}
+
+TEST_F(TombstoneShardedCheckpointTest,
+       PreTombstoneCheckpointsStillLoadAndRoundTrip) {
+  // A tombstone-free pipeline writes the version 1 layout byte for byte —
+  // exactly what a pre-tombstone writer produced — and that checkpoint
+  // must load, re-save identically, and accept removals afterwards.
+  JaccardMatcher matcher;
+  ShardedPipeline sharded(ShardConfig(2, 1, 0.25));
+  const size_t half = records_->size() / 2;
+  std::vector<Record> first(records_->begin(),
+                            records_->begin() + static_cast<long>(half));
+  ASSERT_TRUE(sharded.Ingest(first, matcher).ok());
+  const std::string dir = TempDirFor("shard_tomb_v1");
+  ASSERT_TRUE(SaveShardedCheckpoint(sharded, dir).ok());
+  EXPECT_EQ(ReadFile(ShardedManifestPath(dir))[8], 1);
+  const std::vector<std::string> paths = ShardFilePaths(dir).ValueOrDie();
+  for (const std::string& path : paths) {
+    EXPECT_EQ(ReadFile(path)[8], 1);
+  }
+
+  auto restored = LoadShardedCheckpoint(dir, matcher);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->num_dead(), 0u);
+  const std::string dir2 = TempDirFor("shard_tomb_v1_resave");
+  ASSERT_TRUE(SaveShardedCheckpoint(**restored, dir2).ok());
+  EXPECT_EQ(ReadFile(ShardedManifestPath(dir)),
+            ReadFile(ShardedManifestPath(dir2)));
+
+  ASSERT_TRUE((*restored)->Remove({7}, matcher).ok());
+  const std::string dir3 = TempDirFor("shard_tomb_v1_upgraded");
+  ASSERT_TRUE(SaveShardedCheckpoint(**restored, dir3).ok());
+  EXPECT_EQ(ReadFile(ShardedManifestPath(dir3))[8], 2);
+}
+
 }  // namespace
 }  // namespace gralmatch
