@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <vector>
 
 #include "blocking/id_overlap.h"
@@ -25,6 +27,8 @@
 #include "graph/min_cut.h"
 #include "matching/baselines.h"
 #include "matching/transformer_matcher.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "nn/transformer.h"
 #include "serve/checkpoint.h"
 #include "serve/match_service.h"
@@ -373,6 +377,91 @@ void BM_ServeQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeQuery);
+
+// ---------------------------------------------------------------------------
+// Networked serving. BM_NetQuery measures the full RPC round trip
+// (frame encode -> loopback socket -> server decode -> snapshot query ->
+// reply) against BM_ServeQuery's in-process baseline. /threads:N runs N
+// concurrent clients, each on its own connection: items_per_second at the
+// highest thread count is the saturation QPS, and the p99_us counter is
+// the per-thread p99 round-trip latency (averaged across threads).
+// BM_NetQueryBurst pipelines `burst` requests per call — the batching
+// path: one epoch resolution and one send per burst. Compare rows within
+// one artifact only.
+// ---------------------------------------------------------------------------
+
+/// One server over the checkpoint-bench pipeline's published snapshot
+/// (shared; started once).
+NetServer& NetBenchServer() {
+  struct Shared {
+    MatchService service;
+    std::unique_ptr<NetServer> server;
+  };
+  static Shared* shared = [] {
+    auto* s = new Shared;
+    const IncrementalPipeline& pipeline = CheckpointBenchPipeline();
+    s->service.Publish(pipeline.Snapshot().ValueOrDie(),
+                       pipeline.records().size());
+    NetServerOptions options;
+    options.max_connections = 16;
+    s->server = NetServer::Start(&s->service, options).ValueOrDie();
+    return s;
+  }();
+  return *shared->server;
+}
+
+void BM_NetQuery(benchmark::State& state) {
+  auto client = NetClient::Connect(NetBenchServer().port()).ValueOrDie();
+  const size_t n = CheckpointBenchPipeline().records().size();
+  uint32_t rng_state = static_cast<uint32_t>(state.thread_index()) *
+                           2654435761u + 1u;
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    rng_state = rng_state * 1664525u + 1013904223u;
+    const auto start = std::chrono::steady_clock::now();
+    auto reply = client->GroupOf(static_cast<RecordId>(rng_state % n));
+    const auto stop = std::chrono::steady_clock::now();
+    if (!reply.ok()) {
+      state.SkipWithError("net query failed");
+      break;
+    }
+    benchmark::DoNotOptimize(reply->group);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    state.counters["p99_us"] = benchmark::Counter(
+        latencies_us[latencies_us.size() * 99 / 100],
+        benchmark::Counter::kAvgThreads);
+  }
+}
+BENCHMARK(BM_NetQuery)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_NetQueryBurst(benchmark::State& state) {
+  auto client = NetClient::Connect(NetBenchServer().port()).ValueOrDie();
+  const size_t n = CheckpointBenchPipeline().records().size();
+  const size_t burst_size = static_cast<size_t>(state.range(0));
+  uint32_t rng_state = 1;
+  for (auto _ : state) {
+    std::vector<NetRequest> burst;
+    burst.reserve(burst_size);
+    for (size_t k = 0; k < burst_size; ++k) {
+      rng_state = rng_state * 1664525u + 1013904223u;
+      burst.push_back(NetRequest::GroupOf(rng_state % n));
+    }
+    auto replies = client->Call(burst);
+    if (!replies.ok()) {
+      state.SkipWithError("net burst failed");
+      break;
+    }
+    benchmark::DoNotOptimize(replies->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(burst_size));
+}
+BENCHMARK(BM_NetQueryBurst)->Arg(8)->Arg(64)->ArgName("burst");
 
 void BM_Levenshtein(benchmark::State& state) {
   std::string a = "crowdstrike holdings incorporated";

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace gralmatch {
 
 namespace {
@@ -17,6 +20,15 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 }  // namespace
+
+Status Status::IOErrorFromErrno(std::string msg) {
+  // strerror is not required to be thread-safe, but glibc's returns a
+  // pointer into immutable per-errno-value storage; copy it immediately
+  // regardless so the Status owns its message.
+  msg += ": ";
+  msg += std::strerror(errno);
+  return IOError(std::move(msg));
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

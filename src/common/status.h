@@ -49,6 +49,10 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// IOError carrying the calling thread's current `errno` as a
+  /// ": <strerror>" suffix. Call it *immediately* after the failing
+  /// syscall — any intervening call may clobber errno.
+  static Status IOErrorFromErrno(std::string msg);
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }

@@ -1,0 +1,114 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gralmatch {
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(uint16_t port,
+                                                      size_t max_frame_size) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOErrorFromErrno("cannot create client socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status failure = Status::IOErrorFromErrno("cannot connect to loopback port " +
+                                              std::to_string(port));
+    (void)close(fd);
+    return failure;
+  }
+  return std::unique_ptr<NetClient>(new NetClient(fd, max_frame_size));
+}
+
+NetClient::NetClient(int fd, size_t max_frame_size)
+    : fd_(fd), frames_(max_frame_size) {}
+
+NetClient::~NetClient() { (void)close(fd_); }
+
+Status NetClient::SendBytes(std::string_view raw) {
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n =
+        send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOErrorFromErrno("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<NetReply> NetClient::ReadReply() {
+  char chunk[4096];
+  while (true) {
+    bool has_frame = false;
+    std::string body;
+    GRALMATCH_RETURN_NOT_OK(frames_.NextFrame(&has_frame, &body));
+    if (has_frame) return DecodeNetReplyBody(body);
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IOError(
+          frames_.buffered() == 0
+              ? "connection closed by server"
+              : "connection closed by server mid-frame (" +
+                    std::to_string(frames_.buffered()) +
+                    " bytes of a partial reply)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOErrorFromErrno("recv failed");
+    }
+    frames_.Append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<NetReply> NetClient::RoundTrip(const NetRequest& request) {
+  GRALMATCH_RETURN_NOT_OK(
+      SendBytes(EncodeNetFrame(EncodeNetRequestBody(request))));
+  GRALMATCH_ASSIGN_OR_RETURN(NetReply reply, ReadReply());
+  GRALMATCH_RETURN_NOT_OK(reply.status);
+  return reply;
+}
+
+Result<NetReply> NetClient::GroupOf(RecordId record) {
+  return RoundTrip(NetRequest::GroupOf(record));
+}
+
+Result<NetReply> NetClient::Members(GroupId group) {
+  return RoundTrip(NetRequest::Members(group));
+}
+
+Result<ServeStats> NetClient::Stats() {
+  GRALMATCH_ASSIGN_OR_RETURN(const NetReply reply,
+                             RoundTrip(NetRequest::Stats()));
+  return reply.stats;
+}
+
+Result<std::vector<NetReply>> NetClient::Call(
+    const std::vector<NetRequest>& batch) {
+  std::string burst;
+  for (const NetRequest& request : batch) {
+    burst += EncodeNetFrame(EncodeNetRequestBody(request));
+  }
+  GRALMATCH_RETURN_NOT_OK(SendBytes(burst));
+  std::vector<NetReply> replies;
+  replies.reserve(batch.size());
+  for (size_t k = 0; k < batch.size(); ++k) {
+    GRALMATCH_ASSIGN_OR_RETURN(NetReply reply, ReadReply());
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,74 @@
+#ifndef GRALMATCH_NET_NET_CLIENT_H_
+#define GRALMATCH_NET_NET_CLIENT_H_
+
+/// \file net_client.h
+/// Blocking loopback client for the NetServer wire protocol — the client
+/// side tests, examples and benchmarks speak. One NetClient owns one
+/// connection; it is not thread-safe (use one client per thread, the way a
+/// real connection pool would).
+///
+/// Two layers:
+///  - Typed calls (GroupOf / Members / Stats / Call): encode, send, and
+///    decode; a server-side per-request error comes back as the Result's
+///    Status.
+///  - Raw access (SendBytes / ReadReply): the protocol tests inject
+///    corrupt, truncated, or garbage bytes and observe exactly what the
+///    server answers — or that it cleanly closed the connection.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace gralmatch {
+
+/// \brief One blocking client connection to a NetServer.
+class NetClient {
+ public:
+  /// Connect to a NetServer on the loopback interface. `max_frame_size`
+  /// caps the reply bodies this client will accept.
+  static Result<std::unique_ptr<NetClient>> Connect(
+      uint16_t port, size_t max_frame_size = 1 << 20);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Single-query conveniences. The Result is non-OK on transport failure
+  /// *or* when the server answered this request with an error.
+  Result<NetReply> GroupOf(RecordId record);
+  Result<NetReply> Members(GroupId group);
+  Result<ServeStats> Stats();
+
+  /// Pipelined burst: write every request frame back to back, then read
+  /// the replies. The server resolves the burst against one epoch (up to
+  /// its max_batch), so the replies' epochs agree. Per-request server
+  /// errors stay embedded in each reply's `status`; the call itself fails
+  /// only on transport or framing errors.
+  Result<std::vector<NetReply>> Call(const std::vector<NetRequest>& batch);
+
+  /// Write raw bytes verbatim (protocol tests).
+  Status SendBytes(std::string_view raw);
+
+  /// Read one reply frame. A server that closed the connection (its
+  /// response to a framing error, or capacity rejection after its error
+  /// frame) surfaces as an IOError mentioning the closed connection.
+  Result<NetReply> ReadReply();
+
+ private:
+  NetClient(int fd, size_t max_frame_size);
+
+  Result<NetReply> RoundTrip(const NetRequest& request);
+
+  int fd_;
+  NetFrameBuffer frames_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_NET_NET_CLIENT_H_

@@ -1,0 +1,287 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace gralmatch {
+
+namespace {
+
+/// Write all of `bytes` to `fd`. MSG_NOSIGNAL turns a peer that vanished
+/// mid-reply into a clean error instead of SIGPIPE.
+Status SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOErrorFromErrno("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string ErrorFrame(const Status& status) {
+  NetReply reply;
+  reply.status = status;
+  return EncodeNetFrame(EncodeNetReplyBody(reply));
+}
+
+/// Extract buffered frames into `bodies`, stopping at `max_batch`. A
+/// framing error poisons the stream and is returned after the valid frames
+/// extracted before it.
+Status DrainFrames(NetFrameBuffer* frames, size_t max_batch,
+                   std::vector<std::string>* bodies) {
+  while (bodies->size() < max_batch) {
+    bool has_frame = false;
+    std::string body;
+    GRALMATCH_RETURN_NOT_OK(frames->NextFrame(&has_frame, &body));
+    if (!has_frame) break;
+    bodies->push_back(std::move(body));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(
+    const MatchService* service, const NetServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("NetServer needs a MatchService to front");
+  }
+  if (options.max_connections == 0 || options.max_batch == 0 ||
+      options.max_in_flight_requests == 0) {
+    return Status::InvalidArgument(
+        "NetServer limits must be positive: max_connections, max_batch and "
+        "max_in_flight_requests of 0 would admit nothing");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOErrorFromErrno("cannot create listening socket");
+  }
+  const int enable = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failure = Status::IOErrorFromErrno(
+        "cannot bind loopback port " + std::to_string(options.port));
+    (void)close(fd);
+    return failure;
+  }
+  if (listen(fd, 128) != 0) {
+    Status failure = Status::IOErrorFromErrno("cannot listen");
+    (void)close(fd);
+    return failure;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status failure = Status::IOErrorFromErrno("cannot read the bound port");
+    (void)close(fd);
+    return failure;
+  }
+  return std::unique_ptr<NetServer>(
+      new NetServer(service, options, fd, ntohs(bound.sin_port)));
+}
+
+NetServer::NetServer(const MatchService* service,
+                     const NetServerOptions& options, int listen_fd,
+                     uint16_t port)
+    : service_(service),
+      options_(options),
+      listen_fd_(listen_fd),
+      port_(port),
+      pool_(std::make_unique<ThreadPool>(options.max_connections)) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+NetServer::~NetServer() { Stop(); }
+
+void NetServer::Stop() {
+  if (stopping_.exchange(true)) return;  // the first caller shuts down
+  // Wake the accept loop, then every reader blocked in recv. shutdown (not
+  // close) is used from this thread: the owning task keeps a valid fd and
+  // closes it itself, so no fd number can be recycled under a reader.
+  (void)shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) (void)shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains: every connection loop runs to completion
+  (void)close(listen_fd_);
+}
+
+NetServerCounters NetServer::counters() const {
+  NetServerCounters counters;
+  counters.connections_accepted = connections_accepted_.load();
+  counters.connections_rejected = connections_rejected_.load();
+  counters.requests_served = requests_served_.load();
+  counters.requests_rejected = requests_rejected_.load();
+  counters.batches = batches_.load();
+  return counters;
+}
+
+void NetServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      (void)close(fd);
+      break;
+    }
+    // Admission at the connection boundary: admit only when a pool worker
+    // is free to own the reader loop, so an admitted connection never
+    // queues behind another one.
+    size_t active = active_connections_.load(std::memory_order_relaxed);
+    bool admitted = false;
+    while (active < options_.max_connections) {
+      if (active_connections_.compare_exchange_weak(active, active + 1)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendAll(fd, ErrorFrame(Status::OutOfRange(
+                            "server at connection capacity (" +
+                            std::to_string(options_.max_connections) +
+                            " connections)")));
+      (void)close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+    }
+    pool_->Submit([this, fd] {
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_fds_.erase(fd);
+      }
+      (void)close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_release);
+    });
+  }
+}
+
+void NetServer::ServeConnection(int fd) {
+  NetFrameBuffer frames(options_.max_frame_size);
+  std::vector<std::string> batch;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    batch.clear();
+    // Block until at least one complete request frame is in.
+    Status framing = DrainFrames(&frames, options_.max_batch, &batch);
+    while (framing.ok() && batch.empty()) {
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return;  // orderly EOF (mid-frame bytes are just dropped)
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // reset / shutdown — nothing sensible left to send
+      }
+      frames.Append(chunk, static_cast<size_t>(n));
+      framing = DrainFrames(&frames, options_.max_batch, &batch);
+    }
+    // Opportunistically pick up the rest of a pipelined burst the kernel
+    // already buffered, so the whole burst resolves against one epoch.
+    while (framing.ok() && batch.size() < options_.max_batch) {
+      const ssize_t n = recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n <= 0) break;
+      frames.Append(chunk, static_cast<size_t>(n));
+      framing = DrainFrames(&frames, options_.max_batch, &batch);
+    }
+    // Valid frames extracted before a framing error are still answered;
+    // then the error frame is the last thing the peer reads before EOF.
+    if (!batch.empty() && !ServeBatch(fd, batch)) return;
+    if (!framing.ok()) {
+      (void)SendAll(fd, ErrorFrame(framing));
+      return;  // byte-stream sync is unrecoverable past a framing error
+    }
+  }
+}
+
+bool NetServer::ServeBatch(int fd, const std::vector<std::string>& bodies) {
+  // Admit against the global in-flight cap; requests past it are answered
+  // with a clean error instead of silently queuing without bound.
+  size_t admitted = 0;
+  size_t in_flight = in_flight_.load(std::memory_order_relaxed);
+  while (in_flight < options_.max_in_flight_requests) {
+    const size_t want =
+        std::min(bodies.size(),
+                 options_.max_in_flight_requests - in_flight);
+    if (in_flight_.compare_exchange_weak(in_flight, in_flight + want)) {
+      admitted = want;
+      break;
+    }
+  }
+
+  // One snapshot for the whole burst: every admitted request in this batch
+  // is answered from the same epoch.
+  const MatchSnapshotPtr view = service_->View();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::string out;
+  for (size_t k = 0; k < bodies.size(); ++k) {
+    NetReply reply;
+    if (k >= admitted) {
+      reply.status = Status::OutOfRange(
+          "server overloaded: " +
+          std::to_string(options_.max_in_flight_requests) +
+          " requests already in flight");
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto request = DecodeNetRequestBody(bodies[k]);
+      if (!request.ok()) {
+        reply.status = request.status();
+      } else {
+        reply.op = request->op;
+        reply.epoch = view->epoch();
+        switch (request->op) {
+          case NetOpcode::kGroupOf:
+            // A record id outside the i32 range cannot name a record; a
+            // raw cast would alias it onto a valid one.
+            reply.group =
+                request->id < std::numeric_limits<RecordId>::min() ||
+                        request->id > std::numeric_limits<RecordId>::max()
+                    ? kNoGroup
+                    : view->GroupOf(static_cast<RecordId>(request->id));
+            break;
+          case NetOpcode::kMembers:
+            reply.members = view->Members(request->id);
+            break;
+          case NetOpcode::kStats:
+            reply.stats = view->stats();
+            break;
+        }
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out += EncodeNetFrame(EncodeNetReplyBody(reply));
+  }
+  if (admitted > 0) in_flight_.fetch_sub(admitted, std::memory_order_relaxed);
+  return SendAll(fd, out).ok();
+}
+
+}  // namespace gralmatch

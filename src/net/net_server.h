@@ -1,0 +1,139 @@
+#ifndef GRALMATCH_NET_NET_SERVER_H_
+#define GRALMATCH_NET_NET_SERVER_H_
+
+/// \file net_server.h
+/// Socket-level binary RPC server fronting a MatchService: the first half
+/// of taking epoch-snapshot serving out of process. A NetServer listens on
+/// a loopback TCP port, speaks the framed wire protocol of net/wire.h, and
+/// answers GroupOf / Members / Stats queries against the service's current
+/// epoch.
+///
+/// Threading model: one dedicated listener thread accepts connections;
+/// each accepted connection runs a blocking reader loop as one task on an
+/// exec ThreadPool sized to `max_connections`. Admission control at the
+/// accept boundary therefore doubles as the no-starvation guarantee — a
+/// connection is only admitted when a pool worker is free to own it, so a
+/// reader loop never waits behind another connection in the queue.
+///
+/// Request batching: a pipelined burst of requests on one connection (all
+/// frames buffered when the reader drains the socket) is resolved against
+/// a *single* MatchService::View() epoch, so a client that writes N
+/// requests back to back reads N answers from one consistent snapshot —
+/// the network analogue of holding a View().
+///
+/// Admission control, in the same spirit as BinaryReader::ReadCount:
+///  - `max_connections`: excess connections receive a clean error frame
+///    and are closed; they never queue invisibly.
+///  - `max_in_flight_requests`: requests admitted past the cap are
+///    answered with a clean per-request error, not dropped.
+///  - `max_frame_size`: an oversized length prefix is rejected from the
+///    20-byte header alone — the body is never allocated. Garbage,
+///    truncated, or corrupt frames produce a best-effort error frame and a
+///    closed connection, never a crash or unbounded allocation.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "serve/match_service.h"
+
+namespace gralmatch {
+
+struct NetServerOptions {
+  /// TCP port to bind on the loopback interface; 0 picks an ephemeral port
+  /// (read it back from NetServer::port()).
+  uint16_t port = 0;
+  /// Concurrent connections served; also the worker-pool size.
+  size_t max_connections = 8;
+  /// Requests being resolved at once across all connections; excess
+  /// requests in an admitted batch get clean "overloaded" error replies.
+  size_t max_in_flight_requests = 256;
+  /// Largest request body accepted (bytes).
+  size_t max_frame_size = 1 << 20;
+  /// Most requests resolved against one snapshot per drain of a
+  /// connection's pipelined burst.
+  size_t max_batch = 64;
+};
+
+/// Aggregate serving counters (monotonic since Start).
+struct NetServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;
+  /// Snapshot resolutions; requests_served / batches is the batching rate.
+  uint64_t batches = 0;
+};
+
+/// \brief Loopback binary RPC server over one MatchService.
+///
+/// The service must outlive the server. Stop() (or destruction) shuts the
+/// listener and every open connection down and joins all serving work.
+class NetServer {
+ public:
+  static Result<std::unique_ptr<NetServer>> Start(const MatchService* service,
+                                                  const NetServerOptions& options);
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Shuts the listener and every open connection down and joins all
+  /// serving work. The first call does the shutdown; later calls return
+  /// immediately (call Stop from one thread, or let the destructor do it).
+  void Stop();
+
+  NetServerCounters counters() const;
+
+  /// Connections currently admitted (a closed connection is reaped
+  /// asynchronously by its pool worker, so this lags a client's close).
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_acquire);
+  }
+
+ private:
+  NetServer(const MatchService* service, const NetServerOptions& options,
+            int listen_fd, uint16_t port);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Answer one drained burst against a single snapshot. Returns false when
+  /// the connection should close (send failure).
+  bool ServeBatch(int fd, const std::vector<std::string>& bodies);
+
+  const MatchService* service_;
+  const NetServerOptions options_;
+  int listen_fd_;
+  uint16_t port_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  /// Open connection fds, so Stop() can shutdown() blocked readers. The
+  /// owning connection task is the only closer of an fd — Stop only ever
+  /// shuts down, which is safe against concurrent use.
+  std::mutex conn_mu_;
+  std::unordered_set<int> conn_fds_;
+
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_NET_NET_SERVER_H_

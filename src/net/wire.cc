@@ -1,0 +1,202 @@
+#include "net/wire.h"
+
+#include "common/binary_io.h"
+#include "serve/framing.h"
+
+namespace gralmatch {
+
+namespace {
+
+constexpr char kFrameWhat[] = "RPC frame";
+
+Status CheckOpcode(uint8_t raw, NetOpcode* op) {
+  switch (raw) {
+    case static_cast<uint8_t>(NetOpcode::kGroupOf):
+    case static_cast<uint8_t>(NetOpcode::kMembers):
+    case static_cast<uint8_t>(NetOpcode::kStats):
+      *op = static_cast<NetOpcode>(raw);
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("unknown RPC opcode " +
+                                     std::to_string(raw));
+  }
+}
+
+}  // namespace
+
+std::string EncodeNetFrame(std::string_view body) {
+  BinaryWriter frame;
+  frame.WriteBytes(kNetFrameMagic, sizeof(kNetFrameMagic));
+  frame.WriteU32(kNetFrameVersion);
+  frame.WriteString(body);
+  frame.WriteU64(Fnv1a64(frame.buffer()));
+  return frame.buffer();
+}
+
+Result<std::string_view> DecodeNetFrame(const std::string& image) {
+  BinaryReader reader(image);
+  GRALMATCH_RETURN_NOT_OK(CheckMagicBytes(&reader, kNetFrameMagic, kFrameWhat));
+  GRALMATCH_RETURN_NOT_OK(
+      CheckFormatVersion(&reader, kNetFrameVersion, kFrameWhat));
+  GRALMATCH_ASSIGN_OR_RETURN(const uint64_t checksum,
+                             CheckTrailingChecksum(image, kFrameWhat));
+  std::string_view body;
+  GRALMATCH_RETURN_NOT_OK(reader.ReadStringView(&body));
+  uint64_t trailing = 0;
+  GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&trailing));
+  if (trailing != checksum) {
+    return Status::IOError(
+        "RPC frame corrupted: body length disagrees with the checksum "
+        "position");
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("RPC frame corrupted: " +
+                           std::to_string(reader.remaining()) +
+                           " trailing bytes after the checksum");
+  }
+  return body;
+}
+
+std::string EncodeNetRequestBody(const NetRequest& request) {
+  BinaryWriter body;
+  body.WriteU8(static_cast<uint8_t>(request.op));
+  if (request.op != NetOpcode::kStats) body.WriteI64(request.id);
+  return body.buffer();
+}
+
+Result<NetRequest> DecodeNetRequestBody(std::string_view body) {
+  BinaryReader reader(body);
+  uint8_t raw_op = 0;
+  GRALMATCH_RETURN_NOT_OK(reader.ReadU8(&raw_op));
+  NetRequest request;
+  GRALMATCH_RETURN_NOT_OK(CheckOpcode(raw_op, &request.op));
+  if (request.op != NetOpcode::kStats) {
+    GRALMATCH_RETURN_NOT_OK(reader.ReadI64(&request.id));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("malformed RPC request: " +
+                                   std::to_string(reader.remaining()) +
+                                   " trailing bytes after the operand");
+  }
+  return request;
+}
+
+std::string EncodeNetReplyBody(const NetReply& reply) {
+  BinaryWriter body;
+  body.WriteU8(static_cast<uint8_t>(reply.status.code()));
+  if (!reply.status.ok()) {
+    body.WriteString(reply.status.message());
+    return body.buffer();
+  }
+  body.WriteU8(static_cast<uint8_t>(reply.op));
+  body.WriteU64(reply.epoch);
+  switch (reply.op) {
+    case NetOpcode::kGroupOf:
+      body.WriteI64(reply.group);
+      break;
+    case NetOpcode::kMembers:
+      body.WriteU64(reply.members.size());
+      for (const RecordId member : reply.members) body.WriteI32(member);
+      break;
+    case NetOpcode::kStats:
+      body.WriteU64(reply.stats.num_records);
+      body.WriteU64(reply.stats.num_groups);
+      body.WriteU64(reply.stats.num_matched_groups);
+      body.WriteU64(reply.stats.num_predicted_pairs);
+      break;
+  }
+  return body.buffer();
+}
+
+Result<NetReply> DecodeNetReplyBody(std::string_view body) {
+  BinaryReader reader(body);
+  uint8_t raw_code = 0;
+  GRALMATCH_RETURN_NOT_OK(reader.ReadU8(&raw_code));
+  if (raw_code > static_cast<uint8_t>(StatusCode::kNotImplemented)) {
+    return Status::InvalidArgument("malformed RPC response: unknown status "
+                                   "code " +
+                                   std::to_string(raw_code));
+  }
+  NetReply reply;
+  if (raw_code != static_cast<uint8_t>(StatusCode::kOk)) {
+    std::string message;
+    GRALMATCH_RETURN_NOT_OK(reader.ReadString(&message));
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "malformed RPC response: trailing bytes after the error message");
+    }
+    reply.status = Status(static_cast<StatusCode>(raw_code), message);
+    return reply;
+  }
+  uint8_t raw_op = 0;
+  GRALMATCH_RETURN_NOT_OK(reader.ReadU8(&raw_op));
+  GRALMATCH_RETURN_NOT_OK(CheckOpcode(raw_op, &reply.op));
+  GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&reply.epoch));
+  switch (reply.op) {
+    case NetOpcode::kGroupOf: {
+      int64_t group = kNoGroup;
+      GRALMATCH_RETURN_NOT_OK(reader.ReadI64(&group));
+      reply.group = group;
+      break;
+    }
+    case NetOpcode::kMembers: {
+      uint64_t count = 0;
+      GRALMATCH_RETURN_NOT_OK(reader.ReadCount(4, &count));
+      reply.members.resize(static_cast<size_t>(count));
+      for (RecordId& member : reply.members) {
+        GRALMATCH_RETURN_NOT_OK(reader.ReadI32(&member));
+      }
+      break;
+    }
+    case NetOpcode::kStats: {
+      uint64_t records = 0, groups = 0, matched = 0, pairs = 0;
+      GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&records));
+      GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&groups));
+      GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&matched));
+      GRALMATCH_RETURN_NOT_OK(reader.ReadU64(&pairs));
+      reply.stats.epoch = reply.epoch;
+      reply.stats.num_records = static_cast<size_t>(records);
+      reply.stats.num_groups = static_cast<size_t>(groups);
+      reply.stats.num_matched_groups = static_cast<size_t>(matched);
+      reply.stats.num_predicted_pairs = static_cast<size_t>(pairs);
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "malformed RPC response: trailing bytes after the payload");
+  }
+  return reply;
+}
+
+Status NetFrameBuffer::NextFrame(bool* has_frame, std::string* body) {
+  *has_frame = false;
+  if (buf_.size() < kNetFrameHeaderSize) return Status::OK();
+  // Validate the fixed prefix before the body exists in memory: a garbage
+  // or hostile length prefix must be rejected *before* it sizes an
+  // allocation (the streaming analogue of ReadCount).
+  BinaryReader prefix(std::string_view(buf_).substr(0, kNetFrameHeaderSize));
+  GRALMATCH_RETURN_NOT_OK(CheckMagicBytes(&prefix, kNetFrameMagic, kFrameWhat));
+  GRALMATCH_RETURN_NOT_OK(
+      CheckFormatVersion(&prefix, kNetFrameVersion, kFrameWhat));
+  uint64_t body_size = 0;
+  GRALMATCH_RETURN_NOT_OK(prefix.ReadU64(&body_size));
+  if (body_size > max_frame_size_) {
+    return Status::InvalidArgument(
+        "RPC frame body of " + std::to_string(body_size) +
+        " bytes exceeds this receiver's limit of " +
+        std::to_string(max_frame_size_));
+  }
+  const size_t total = kNetFrameHeaderSize + static_cast<size_t>(body_size) +
+                       kNetFrameTrailerSize;
+  if (buf_.size() < total) return Status::OK();
+  const std::string image = buf_.substr(0, total);
+  buf_.erase(0, total);
+  GRALMATCH_ASSIGN_OR_RETURN(const std::string_view view,
+                             DecodeNetFrame(image));
+  body->assign(view.data(), view.size());
+  *has_frame = true;
+  return Status::OK();
+}
+
+}  // namespace gralmatch

@@ -1,0 +1,147 @@
+#ifndef GRALMATCH_NET_WIRE_H_
+#define GRALMATCH_NET_WIRE_H_
+
+/// \file wire.h
+/// Binary RPC wire format for the `net` serving layer. Every message —
+/// request and response alike — travels as one *frame* with the same
+/// discipline as the durable checkpoint files (serve/framing.h): an 8-byte
+/// magic, a u32 format version, a u64-length-prefixed body, and a trailing
+/// whole-frame FNV-1a 64 checksum. The framing validators are the
+/// checkpoint ones (CheckMagicBytes / CheckFormatVersion /
+/// CheckTrailingChecksum), not a reimplementation, so the two byte
+/// disciplines cannot drift.
+///
+/// Frame layout (all integers little-endian via common/binary_io.h):
+///
+///   offset 0   8-byte magic "GRLMNETF"
+///          8   u32 frame format version (kNetFrameVersion)
+///         12   u64 body size, then the body bytes
+///          .   u64 FNV-1a 64 checksum of every preceding byte
+///
+/// The fixed 20-byte prefix (magic + version + body size) is validated
+/// *before* the body is read off the socket: a bad magic, a future
+/// version, or a body size above the receiver's frame-size cap is rejected
+/// without allocating for the body — the streaming analogue of
+/// BinaryReader::ReadCount's allocation-bomb guard.
+///
+/// Request body:  u8 opcode, then the operand (i64 record id for GroupOf,
+/// i64 group id for Members, nothing for Stats).
+/// Response body: u8 status code (StatusCode cast to u8); a non-OK code is
+/// followed by the length-prefixed error message, an OK code by the u8
+/// opcode being answered, the u64 epoch the answer was resolved against,
+/// and the opcode's payload.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/match_service.h"
+
+namespace gralmatch {
+
+/// Magic bytes opening every RPC frame: ASCII "GRLMNETF".
+constexpr char kNetFrameMagic[8] = {'G', 'R', 'L', 'M', 'N', 'E', 'T', 'F'};
+
+/// Newest frame format version this binary speaks. Frames from a newer
+/// version are rejected, not misread.
+constexpr uint32_t kNetFrameVersion = 1;
+
+/// Bytes before the body: magic (8) + version (4) + body size (8).
+constexpr size_t kNetFrameHeaderSize = 20;
+
+/// Bytes after the body: the trailing checksum.
+constexpr size_t kNetFrameTrailerSize = 8;
+
+/// The queries MatchService answers, as wire opcodes.
+enum class NetOpcode : uint8_t {
+  kGroupOf = 1,
+  kMembers = 2,
+  kStats = 3,
+};
+
+/// One decoded request.
+struct NetRequest {
+  NetOpcode op = NetOpcode::kStats;
+  /// GroupOf: the record id. Members: the group id. Stats: unused.
+  int64_t id = 0;
+
+  /// The record id is carried at wire width (i64), not RecordId width: the
+  /// *server* decides whether it names a record — a client-side narrowing
+  /// would alias out-of-range ids onto valid ones before the guard runs.
+  static NetRequest GroupOf(int64_t record) {
+    return {NetOpcode::kGroupOf, record};
+  }
+  static NetRequest Members(GroupId group) {
+    return {NetOpcode::kMembers, group};
+  }
+  static NetRequest Stats() { return {NetOpcode::kStats, 0}; }
+};
+
+/// One decoded response. `status` carries a per-request server-side error
+/// (unknown opcode, admission-control rejection) without tearing down the
+/// connection; the payload fields are meaningful only when it is OK.
+struct NetReply {
+  Status status;
+  NetOpcode op = NetOpcode::kStats;
+  /// The epoch the server resolved this request against. All requests of
+  /// one pipelined burst resolve against a single epoch.
+  uint64_t epoch = 0;
+  GroupId group = kNoGroup;        ///< GroupOf payload
+  std::vector<RecordId> members;   ///< Members payload
+  ServeStats stats;                ///< Stats payload
+};
+
+/// Wrap `body` in a complete frame (magic, version, length prefix,
+/// checksum).
+std::string EncodeNetFrame(std::string_view body);
+
+/// Validate a complete frame image and return a view of its body. The view
+/// borrows from `image`.
+Result<std::string_view> DecodeNetFrame(const std::string& image);
+
+std::string EncodeNetRequestBody(const NetRequest& request);
+Result<NetRequest> DecodeNetRequestBody(std::string_view body);
+
+std::string EncodeNetReplyBody(const NetReply& reply);
+Result<NetReply> DecodeNetReplyBody(std::string_view body);
+
+/// \brief Incremental frame extractor over a byte stream.
+///
+/// The receive side of a connection appends whatever bytes the socket
+/// delivers and extracts complete frames as they become available —
+/// pipelined bursts yield several frames from one buffer, which is what
+/// lets the server resolve a burst against a single epoch. Framing errors
+/// (bad magic, future version, oversized body) are detected from the fixed
+/// prefix alone and are *fatal to the stream*: once sync with the peer is
+/// lost there is no way to find the next frame boundary in a byte stream,
+/// so the connection must close.
+class NetFrameBuffer {
+ public:
+  /// `max_frame_size` caps the *body* size this receiver will accept.
+  explicit NetFrameBuffer(size_t max_frame_size)
+      : max_frame_size_(max_frame_size) {}
+
+  /// Append raw bytes received from the socket.
+  void Append(const char* data, size_t size) { buf_.append(data, size); }
+
+  /// Extract the next complete frame's *body*, if one is fully buffered.
+  /// Returns: OK with `*has_frame = true` and the body in `*body` when a
+  /// complete valid frame was extracted; OK with `*has_frame = false` when
+  /// more bytes are needed; a non-OK Status on a framing error (stream is
+  /// poisoned — close the connection).
+  Status NextFrame(bool* has_frame, std::string* body);
+
+  /// Bytes currently buffered (a nonzero value at EOF means the peer died
+  /// mid-frame).
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  size_t max_frame_size_;
+  std::string buf_;
+};
+
+}  // namespace gralmatch
+
+#endif  // GRALMATCH_NET_WIRE_H_

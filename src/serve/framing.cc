@@ -1,40 +1,116 @@
 #include "serve/framing.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
 #include <string_view>
 
 #include "common/binary_io.h"
 
 namespace gralmatch {
 
+namespace {
+
+/// Temp name unique across processes (pid) and across concurrent savers in
+/// this process (atomic counter): two threads saving to the same path each
+/// write their own temp file, and the rename decides which image wins —
+/// neither can publish the other's partial bytes.
+std::string UniqueTempPath(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(static_cast<long long>(getpid())) +
+         "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// fsync the directory holding `path`, making a just-committed rename of an
+/// entry inside it survive power loss. Best-effort by contract: some
+/// filesystems refuse to open or fsync directories, and the data itself is
+/// already durable — only the *name* could revert to the previous image,
+/// which is exactly the pre-rename state and still a valid file.
+void SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)fsync(fd);
+  (void)close(fd);
+}
+
+}  // namespace
+
 Status WriteFileAtomically(const std::string& path, const std::string& image) {
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::IOError("cannot open for writing: " + tmp_path);
+  const std::string tmp_path = UniqueTempPath(path);
+  const int fd = open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
+  if (fd < 0) {
+    return Status::IOErrorFromErrno("cannot open for writing: " + tmp_path);
+  }
+  size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n =
+        write(fd, image.data() + written, image.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status failure = Status::IOErrorFromErrno("write failed: " + tmp_path);
+      (void)close(fd);
+      (void)std::remove(tmp_path.c_str());
+      return failure;
     }
-    file.write(image.data(), static_cast<std::streamsize>(image.size()));
-    file.flush();
-    if (!file) return Status::IOError("write failed: " + tmp_path);
+    written += static_cast<size_t>(n);
+  }
+  // The bytes must be durable *before* the rename publishes the name: a
+  // crash after the rename but before a data flush would otherwise leave
+  // the final name pointing at a torn file — the exact failure the atomic
+  // discipline promises away.
+  if (fsync(fd) != 0) {
+    Status failure = Status::IOErrorFromErrno("fsync failed: " + tmp_path);
+    (void)close(fd);
+    (void)std::remove(tmp_path.c_str());
+    return failure;
+  }
+  if (close(fd) != 0) {
+    Status failure = Status::IOErrorFromErrno("close failed: " + tmp_path);
+    (void)std::remove(tmp_path.c_str());
+    return failure;
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+    Status failure = Status::IOErrorFromErrno("cannot rename " + tmp_path +
+                                              " to " + path);
+    (void)std::remove(tmp_path.c_str());
+    return failure;
   }
+  SyncParentDirectory(path);
   return Status::OK();
 }
 
 Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary | std::ios::ate);
-  if (!file) return Status::IOError("cannot open for reading: " + path);
-  const std::streamoff size = file.tellg();
-  if (size < 0) return Status::IOError("cannot stat: " + path);
-  std::string image(static_cast<size_t>(size), '\0');
-  file.seekg(0);
-  if (size > 0) file.read(&image[0], size);
-  if (!file) return Status::IOError("read failed: " + path);
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOErrorFromErrno("cannot open for reading: " + path);
+  }
+  struct stat info;
+  if (fstat(fd, &info) != 0) {
+    Status failure = Status::IOErrorFromErrno("cannot stat: " + path);
+    (void)close(fd);
+    return failure;
+  }
+  std::string image(static_cast<size_t>(info.st_size), '\0');
+  size_t filled = 0;
+  while (filled < image.size()) {
+    const ssize_t n = read(fd, &image[filled], image.size() - filled);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status failure = Status::IOErrorFromErrno("read failed: " + path);
+      (void)close(fd);
+      return failure;
+    }
+    if (n == 0) break;  // shrank under us; return what exists
+    filled += static_cast<size_t>(n);
+  }
+  (void)close(fd);
+  image.resize(filled);
   return image;
 }
 

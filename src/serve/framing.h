@@ -19,9 +19,12 @@ namespace gralmatch {
 
 class BinaryReader;
 
-/// Write `image` to `path` atomically: a temp file next to `path` is
-/// renamed over it, so a crash mid-write never leaves a torn file under
-/// the final name.
+/// Write `image` to `path` atomically and durably: a uniquely named temp
+/// file next to `path` (pid + per-process counter, so concurrent savers to
+/// the same path never share a temp file) is fsynced and then renamed over
+/// it, and the parent directory is fsynced after the rename — a crash or
+/// power loss at any point leaves the final name holding either the
+/// previous complete image or the new complete image, never torn bytes.
 Status WriteFileAtomically(const std::string& path, const std::string& image);
 
 /// Read the complete file into one buffer (checkpoints scale with the full

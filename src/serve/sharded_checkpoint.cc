@@ -75,7 +75,10 @@ void CollectGarbage(const std::string& dir,
     const std::string name = entry->d_name;
     const bool stale_shard = StartsWith(name, "shard-") &&
                              EndsWith(name, ".grlm") && !live_names.count(name);
-    const bool stray_tmp = EndsWith(name, ".tmp");
+    // WriteFileAtomically's temp names are "<file>.tmp.<pid>.<counter>";
+    // plain ".tmp" suffixes cover files older binaries left behind.
+    const bool stray_tmp =
+        EndsWith(name, ".tmp") || name.find(".tmp.") != std::string::npos;
     if (stale_shard || stray_tmp) {
       std::remove((dir + "/" + name).c_str());
     }
@@ -106,8 +109,24 @@ Result<std::vector<std::string>> ShardFilePaths(const std::string& dir) {
 Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
                              const std::string& dir) {
   GRALMATCH_RETURN_NOT_OK(pipeline.status());
-  if (mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
-    return Status::IOError("cannot create checkpoint directory: " + dir);
+  if (mkdir(dir.c_str(), 0777) != 0) {
+    if (errno != EEXIST) {
+      return Status::IOErrorFromErrno("cannot create checkpoint directory: " +
+                                      dir);
+    }
+    // EEXIST only means *some* path component exists — a regular file at
+    // `dir` would otherwise surface later as confusing per-shard-file write
+    // failures instead of one clear error here.
+    struct stat info;
+    if (stat(dir.c_str(), &info) != 0) {
+      return Status::IOErrorFromErrno("cannot stat checkpoint directory: " +
+                                      dir);
+    }
+    if (!S_ISDIR(info.st_mode)) {
+      return Status::IOError("checkpoint directory path exists but is not a "
+                             "directory: " +
+                             dir);
+    }
   }
 
   // Content-addressed shard files first. Their names are new unless their

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "datagen/financial_gen.h"
 #include "datagen/wdc_gen.h"
 #include "serve/checkpoint.h"
+#include "serve/framing.h"
 #include "serve/match_service.h"
 #include "stream/incremental_pipeline.h"
 #include "text/normalize.h"
@@ -274,6 +277,59 @@ TEST(CheckpointTest, FileRoundTripViaSaveAndLoad) {
   auto restored = LoadCheckpoint(path, matcher);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ExpectBitwiseIdentical((*restored)->Snapshot().ValueOrDie(), pipeline.Snapshot().ValueOrDie(), "file");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ConcurrentSaversToOnePathNeverTearTheFile) {
+  // Regression test: two threads saving to the same path used to race on
+  // one shared `<path>.tmp` staging name — writer A's rename could publish
+  // bytes writer B was still appending. With per-call unique temp names
+  // every published image is one writer's complete bytes. Run under TSan
+  // in CI.
+  const std::string path = TempPath("serve_concurrent_save.ckpt");
+  std::remove(path.c_str());
+  const std::string image_a(1 << 16, 'A');
+  const std::string image_b(1 << 16, 'B');
+  std::atomic<bool> done{false};
+
+  auto saver = [&path](const std::string& image) {
+    for (int i = 0; i < 24; ++i) {
+      ASSERT_TRUE(WriteFileAtomically(path, image).ok());
+    }
+  };
+  // A concurrent reader must only ever observe a complete image — the
+  // whole point of publish-by-rename.
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto image = ReadWholeFile(path);
+      if (!image.ok()) continue;  // not yet published for the first time
+      ASSERT_TRUE(*image == image_a || *image == image_b)
+          << "torn read of " << image->size() << " bytes";
+    }
+  });
+  std::thread writer_a(saver, image_a);
+  std::thread writer_b(saver, image_b);
+  writer_a.join();
+  writer_b.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  auto final_image = ReadWholeFile(path);
+  ASSERT_TRUE(final_image.ok()) << final_image.status().ToString();
+  EXPECT_TRUE(*final_image == image_a || *final_image == image_b);
+
+  // Every staging file was renamed or unlinked — none linger.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = path.substr(0, slash);
+  const std::string base = path.substr(slash + 1);
+  DIR* handle = opendir(dir.c_str());
+  ASSERT_NE(handle, nullptr);
+  while (dirent* entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    EXPECT_FALSE(name.size() > base.size() && name.compare(0, base.size(), base) == 0)
+        << "stray staging file: " << name;
+  }
+  closedir(handle);
   std::remove(path.c_str());
 }
 

@@ -670,6 +670,30 @@ TEST_F(ShardedCheckpointTest, PreIngestCheckpointLoadsUnderAnyMatcher) {
   EXPECT_TRUE((*restored)->fingerprint().empty());
 }
 
+TEST_F(ShardedCheckpointTest, SaveOntoARegularFilePathFailsCleanly) {
+  // Regression test: mkdir() fails with EEXIST whether the existing path is
+  // a directory or a plain file; the save used to treat both as "directory
+  // already there" and then fail bizarrely (or clobber) writing
+  // "<file>/manifest". It must refuse up front with a clean IOError.
+  ShardedPipeline sharded(ShardConfig(2, 1, 0.25));
+  const std::string path = TempDirFor("shard_ckpt_regular_file");
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a directory";
+  }
+  Status saved = SaveShardedCheckpoint(sharded, path);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kIoError);
+  EXPECT_NE(saved.message().find("not a directory"), std::string::npos);
+  // The file is left untouched.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  EXPECT_EQ(contents, "not a directory");
+  std::remove(path.c_str());
+}
+
 class ShardedCheckpointCorruptionTest : public FinancialShard {
  protected:
   /// Save a 2-shard checkpoint of the first half of the fixture into `dir`.
