@@ -240,6 +240,7 @@ void HeterogeneousCleanups(const BenchConfig& config) {
   }
   {
     Graph graph(products.records.size());
+    // Discard audited: candidate endpoints are record ids in range.
     for (const auto& cand : positives) {
       (void)graph.AddEdge(cand.pair.a, cand.pair.b);
     }
@@ -249,6 +250,7 @@ void HeterogeneousCleanups(const BenchConfig& config) {
   }
   {
     Graph graph(products.records.size());
+    // Discard audited: candidate endpoints are record ids in range.
     for (const auto& cand : positives) {
       (void)graph.AddEdge(cand.pair.a, cand.pair.b);
     }

@@ -48,6 +48,7 @@ Graph MakeRandomGraph(size_t n, uint64_t seed) {
     g.AddEdge(static_cast<NodeId>(rng.Uniform(v)), static_cast<NodeId>(v))
         .ValueOrDie();
   }
+  // Discard-free here: ValueOrDie asserts success; ids are in range.
   for (size_t k = 0; k < 2 * n; ++k) {
     NodeId a = static_cast<NodeId>(rng.Uniform(n));
     NodeId b = static_cast<NodeId>(rng.Uniform(n));
@@ -100,6 +101,8 @@ Graph MakeClusteredGraph(size_t communities, size_t community_size,
   for (size_t c = 0; c < communities; ++c) {
     const size_t begin = c * community_size;
     const size_t end = begin + community_size;
+    // Discard audited: synthetic in-range endpoints, so AddEdge cannot
+    // fail; the edge ids are unused.
     for (size_t a = begin; a < end; ++a) {
       // Ring for connectivity plus random chords.
       size_t b = a + 1 == end ? begin : a + 1;

@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
     Graph graph(products.records.size());
     EntityGroupPipeline scorer;
     PipelineResult scored = scorer.Run(products, candidates.ToVector(), matcher);
+    // Discard audited: predicted pairs are in-range by construction; the
+    // edge id is unused here.
     for (const auto& pair : scored.predicted_pairs) {
       (void)graph.AddEdge(pair.a, pair.b);
     }

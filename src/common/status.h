@@ -28,7 +28,12 @@ enum class StatusCode {
 ///
 /// A default-constructed Status is OK. Non-OK statuses carry a code and a
 /// human-readable message. Statuses are cheap to copy (small string).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status discards an error.
+/// Callers must check it (or, where discarding is genuinely correct — e.g.
+/// best-effort cleanup on an already-failing path — cast to void with a
+/// comment saying why).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -80,8 +85,11 @@ class Status {
 ///
 /// Mirrors arrow::Result. Access to the value when holding an error aborts
 /// in debug builds; always check ok() first (or use ValueOrDie in tests).
+///
+/// [[nodiscard]] for the same reason as Status: an unexamined Result is a
+/// dropped error (and a dropped value).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {}

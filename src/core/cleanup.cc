@@ -149,6 +149,8 @@ ComponentCleanup CleanupComponentCopy(const GraphCleanupConfig& config,
                                comp.begin());
   };
   for (EdgeId e : edges) {
+    // Discard audited: endpoints come from the parent graph's edge list and
+    // are remapped in range, so AddEdge cannot fail; the id is unused.
     (void)local.AddEdge(local_id(graph.edge(e).u), local_id(graph.edge(e).v));
     parent_edge.push_back(e);
   }

@@ -1,11 +1,12 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gralmatch {
 
@@ -27,15 +28,17 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   const size_t num_chunks = std::min((n + grain - 1) / grain, max_chunks);
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
-    std::exception_ptr error;
-    size_t error_chunk = std::numeric_limits<size_t>::max();
+    // Constructor-initialized: TSA exempts constructors, so no lock is
+    // needed before the state is shared with the workers.
+    explicit State(size_t chunks) : remaining(chunks) {}
+    Mutex mu;
+    CondVar cv;
+    size_t remaining GUARDED_BY(mu);
+    std::exception_ptr error GUARDED_BY(mu);
+    size_t error_chunk GUARDED_BY(mu) = std::numeric_limits<size_t>::max();
   };
   // shared_ptr: chunk tasks may briefly outlive the wait loop's final wakeup.
-  auto state = std::make_shared<State>();
-  state->remaining = num_chunks;
+  auto state = std::make_shared<State>(num_chunks);
 
   const size_t base = n / num_chunks;
   const size_t extra = n % num_chunks;
@@ -49,25 +52,27 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
       } catch (...) {
         err = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       if (err && c < state->error_chunk) {
         state->error_chunk = c;
         state->error = err;
       }
-      if (--state->remaining == 0) state->cv.notify_all();
+      if (--state->remaining == 0) state->cv.NotifyAll();
     });
     lo = hi;
   }
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] { return state->remaining == 0; });
   // Take ownership of the error so the exception object's final release
   // (and the free) happens on this thread, not inside a worker's late
   // ~State — the exception_ptr refcount lives in libstdc++ and is invisible
   // to TSan, so a cross-thread release would be flagged (and genuinely
   // leaves the caller reading an object a worker may free).
-  std::exception_ptr error = std::move(state->error);
-  lock.unlock();
+  std::exception_ptr error;
+  {
+    MutexLock lock(&state->mu);
+    while (state->remaining != 0) state->cv.Wait(&state->mu);
+    error = std::move(state->error);
+  }
   if (error) std::rethrow_exception(error);
 }
 

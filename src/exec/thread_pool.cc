@@ -19,19 +19,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::InWorkerThread() const { return g_current_pool == this; }
@@ -45,8 +45,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Predicate loop instead of the two-argument wait: the guarded reads
+      // stay in this scope, where the analysis can see the lock is held.
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain-then-stop: only exit once the queue is empty so destruction
       // under load completes every submitted task.
       if (queue_.empty()) break;

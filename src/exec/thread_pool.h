@@ -8,15 +8,16 @@
 /// FIFO queue, which keeps scheduling simple and cache behaviour predictable
 /// for the contiguous-chunk decomposition used by ParallelFor (parallel.h).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gralmatch {
 
@@ -40,7 +41,7 @@ class ThreadPool {
   /// Enqueue a task. Tasks must not throw out of the callable when submitted
   /// directly (ParallelFor wraps user code and captures exceptions); a task
   /// may Submit further tasks, including from inside a worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -53,13 +54,15 @@ class ThreadPool {
   static size_t DefaultNumThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Written only by the constructor, before any concurrency; read-only
+  /// afterwards (num_threads, InWorkerThread, join) — no guard needed.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 /// A pool of `num_threads` workers, or null when `num_threads <= 1` — the

@@ -122,7 +122,7 @@ void NetServer::Stop() {
   (void)shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (const int fd : conn_fds_) (void)shutdown(fd, SHUT_RDWR);
   }
   pool_.reset();  // drains: every connection loop runs to completion
@@ -163,6 +163,8 @@ void NetServer::AcceptLoop() {
     }
     if (!admitted) {
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      // Discard audited: best-effort courtesy frame to a connection being
+      // refused — the fd is closed right after whether the send lands or not.
       (void)SendAll(fd, ErrorFrame(Status::OutOfRange(
                             "server at connection capacity (" +
                             std::to_string(options_.max_connections) +
@@ -172,13 +174,13 @@ void NetServer::AcceptLoop() {
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       conn_fds_.insert(fd);
     }
     pool_->Submit([this, fd] {
       ServeConnection(fd);
       {
-        std::lock_guard<std::mutex> lock(conn_mu_);
+        MutexLock lock(&conn_mu_);
         conn_fds_.erase(fd);
       }
       (void)close(fd);
@@ -217,6 +219,8 @@ void NetServer::ServeConnection(int fd) {
     // then the error frame is the last thing the peer reads before EOF.
     if (!batch.empty() && !ServeBatch(fd, batch)) return;
     if (!framing.ok()) {
+      // Discard audited: best-effort error frame on an already-poisoned
+      // stream; the connection closes either way.
       (void)SendAll(fd, ErrorFrame(framing));
       return;  // byte-stream sync is unrecoverable past a framing error
     }

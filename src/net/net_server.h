@@ -34,11 +34,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "serve/match_service.h"
 
@@ -90,7 +91,7 @@ class NetServer {
   /// Shuts the listener and every open connection down and joins all
   /// serving work. The first call does the shutdown; later calls return
   /// immediately (call Stop from one thread, or let the destructor do it).
-  void Stop();
+  void Stop() EXCLUDES(conn_mu_);
 
   NetServerCounters counters() const;
 
@@ -104,7 +105,7 @@ class NetServer {
   NetServer(const MatchService* service, const NetServerOptions& options,
             int listen_fd, uint16_t port);
 
-  void AcceptLoop();
+  void AcceptLoop() EXCLUDES(conn_mu_);
   void ServeConnection(int fd);
   /// Answer one drained burst against a single snapshot. Returns false when
   /// the connection should close (send failure).
@@ -122,8 +123,8 @@ class NetServer {
   /// Open connection fds, so Stop() can shutdown() blocked readers. The
   /// owning connection task is the only closer of an fd — Stop only ever
   /// shuts down, which is safe against concurrent use.
-  std::mutex conn_mu_;
-  std::unordered_set<int> conn_fds_;
+  Mutex conn_mu_;
+  std::unordered_set<int> conn_fds_ GUARDED_BY(conn_mu_);
 
   std::atomic<size_t> active_connections_{0};
   std::atomic<size_t> in_flight_{0};

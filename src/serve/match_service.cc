@@ -54,7 +54,7 @@ uint64_t MatchService::Publish(const PipelineResult& result,
   // The publish mutex serializes writers only (epoch draw + snapshot build
   // + swap). Readers never take it: they keep serving their previous
   // snapshot, which its shared_ptr keeps alive, until the swap lands.
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(&publish_mu_);
   const uint64_t epoch = next_epoch_++;
   auto snapshot =
       std::make_shared<const MatchSnapshot>(epoch, result, num_records);

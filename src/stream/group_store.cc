@@ -124,6 +124,8 @@ void GroupStore::RebuildComponent(ComponentState* comp,
   std::vector<uint32_t> edge_provenance;
   edge_provenance.reserve(comp->pairs.size());
   for (const RecordPair& pair : comp->pairs) {
+    // Discard audited: endpoints are remapped members of this component, so
+    // AddEdge cannot fail; the local edge id is not needed.
     (void)local.AddEdge(local_id(pair.a), local_id(pair.b));
     edge_provenance.push_back(prov_of(pair));
   }

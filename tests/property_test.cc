@@ -51,6 +51,8 @@ class CleanupPropertyTest : public ::testing::TestWithParam<uint64_t> {
     *num_nodes = next;
     Graph g(next);
     for (const auto& [begin, end] : spans) {
+      // Discard audited: synthetic in-range endpoints, so AddEdge cannot
+      // fail; the edge ids are unused (here and for the bridges below).
       for (size_t a = begin; a < end; ++a) {
         // Ring for connectivity + random chords.
         size_t b = a + 1 == end ? begin : a + 1;
@@ -225,6 +227,7 @@ class ParallelCleanupStressTest
     }
     Graph g(next);
     for (const auto& [begin, end] : spans) {
+      // Discard audited: synthetic in-range endpoints, edge ids unused.
       for (size_t a = begin; a < end; ++a) {
         size_t b = a + 1 == end ? begin : a + 1;
         if (b != a) {

@@ -1,0 +1,45 @@
+// Negative-compile fixture for the clang Thread Safety Analysis wiring.
+//
+// The CI static-analysis job compiles this file twice with
+// `clang++ -Wthread-safety -Werror -fsyntax-only`:
+//
+//   1. without GRALMATCH_TSA_SELFTEST — must COMPILE (proves the annotated
+//      wrappers in common/mutex.h are themselves analysis-clean), and
+//   2. with -DGRALMATCH_TSA_SELFTEST — must FAIL with a -Wthread-safety
+//      diagnostic (proves the analysis is actually on: a silently
+//      misconfigured flag would otherwise let every annotation rot).
+//
+// Deliberately not a registered gtest suite: nothing here runs, it only
+// compiles. Keep the violation minimal — one unguarded read of a
+// GUARDED_BY member — so the expected diagnostic stays stable across
+// clang versions.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace gralmatch {
+
+class TsaSelftestCounter {
+ public:
+  void Increment() {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() const {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+#ifdef GRALMATCH_TSA_SELFTEST
+  // Must NOT compile under -Wthread-safety -Werror: reads value_ without
+  // holding mu_. If clang accepts this, the analysis is not running.
+  int GetRacy() const { return value_; }
+#endif
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gralmatch

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_invariants.py.
+
+Builds a miniature repo in a temp dir seeded with exactly one violation of
+each rule, and asserts every violation is reported at its file:line — then
+asserts the linter is clean on the real tree it ships in. Registered as the
+ctest entry `tools.check_invariants_selftest` (tests/CMakeLists.txt), so a
+rule that silently stops firing fails CI the same way a broken C++ test
+would.
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import check_invariants  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Minimal CI workflow for the fixture: the sanitize job filters ctest
+#: (asan-full-suite violation) and the TSan job builds exec_test but only
+#: labels core_test (tsan-consistency, both directions) while the fixture's
+#: concurrent suite conc_test is in neither (tsan-coverage).
+FIXTURE_CI = """\
+name: CI
+jobs:
+  sanitize:
+    steps:
+      - name: Test
+        run: ctest --test-dir build -L '^(core_test)$'
+  sanitize-thread:
+    steps:
+      - name: Build
+        run: |
+          cmake --build build -j2 \\
+            --target exec_test
+      - name: Test under TSan
+        run: |
+          ctest --test-dir build \\
+            -L '^(core_test)$'
+"""
+
+
+def write(root, relpath, text):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return relpath
+
+
+class FixtureTreeTest(unittest.TestCase):
+    """One seeded violation per rule, each asserted with its file:line."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls._tmp = tempfile.TemporaryDirectory(prefix="check_invariants_")
+        root = pathlib.Path(cls._tmp.name)
+        cls.root = root
+
+        # framed-bytes: memcpy on line 2, reinterpret_cast on line 3 of a
+        # serve file; a sockaddr cast that must NOT be flagged in net.
+        write(root, "src/serve/bad_bytes.cc",
+              "#include <cstring>\n"
+              "void f(char* d, const char* s) { std::memcpy(d, s, 4); }\n"
+              "int g(const char* p) { return *reinterpret_cast<const int*>(p); }\n")
+        write(root, "src/net/sockets_ok.cc",
+              "void h(const void* a) {\n"
+              "  (void)reinterpret_cast<const sockaddr*>(a);\n"
+              "}\n")
+
+        # tmp-staging: a naked staging literal on line 1 (and none in the
+        # allowlisted framing.cc, which the fixture does not even need).
+        write(root, "src/core/bad_tmp.cc",
+              'const char* kStaging = "out.grlm.tmp";\n')
+
+        # test-registration: orphan_test.cc exists but is not registered;
+        # conc_test.cc is registered but concurrent and outside the TSan leg.
+        write(root, "tests/orphan_test.cc", "int main() { return 0; }\n")
+        write(root, "tests/conc_test.cc",
+              "#include \"exec/thread_pool.h\"\n"
+              "// uses ThreadPool\nint main() { return 0; }\n")
+        write(root, "tests/core_test.cc", "int main() { return 0; }\n")
+        write(root, "tests/exec_test.cc", "int main() { return 0; }\n")
+        write(root, "tests/CMakeLists.txt",
+              "gralmatch_add_test(conc_test gralmatch::exec)\n"
+              "gralmatch_add_test(core_test gralmatch::core)\n"
+              "gralmatch_add_test(exec_test gralmatch::exec)\n")
+
+        # module-dag: common including exec is an upward edge (line 1).
+        write(root, "src/common/bad_dag.h",
+              '#include "exec/thread_pool.h"\n')
+
+        # raw-mutex: bare std::mutex outside common/mutex.h (line 2).
+        write(root, "src/exec/bad_sync.h",
+              "#include <mutex>\n"
+              "struct S { std::mutex mu; };\n")
+
+        write(root, ".github/workflows/ci.yml", FIXTURE_CI)
+
+        cls.findings = check_invariants.run(root)
+
+    @classmethod
+    def tearDownClass(cls):
+        cls._tmp.cleanup()
+
+    def assert_finding(self, location, rule):
+        matches = [f for f in self.findings
+                   if f.startswith(location + ":") and f"[{rule}]" in f]
+        self.assertTrue(
+            matches,
+            f"expected a [{rule}] finding at {location}; got:\n" +
+            "\n".join(self.findings))
+
+    def test_framed_bytes_memcpy(self):
+        self.assert_finding("src/serve/bad_bytes.cc:2", "framed-bytes")
+
+    def test_framed_bytes_reinterpret_cast(self):
+        self.assert_finding("src/serve/bad_bytes.cc:3", "framed-bytes")
+
+    def test_framed_bytes_sockaddr_exempt(self):
+        flagged = [f for f in self.findings if "sockets_ok.cc" in f]
+        self.assertEqual(flagged, [],
+                         "sockaddr casts are kernel ABI, not framed bytes")
+
+    def test_tmp_staging(self):
+        self.assert_finding("src/core/bad_tmp.cc:1", "tmp-staging")
+
+    def test_test_registration(self):
+        self.assert_finding("tests/orphan_test.cc:1", "test-registration")
+
+    def test_asan_full_suite(self):
+        self.assert_finding(".github/workflows/ci.yml:3", "asan-full-suite")
+
+    def test_tsan_consistency_built_not_run(self):
+        matches = [f for f in self.findings
+                   if "[tsan-consistency]" in f and "exec_test" in f]
+        self.assertTrue(matches, "\n".join(self.findings))
+
+    def test_tsan_consistency_run_not_built(self):
+        matches = [f for f in self.findings
+                   if "[tsan-consistency]" in f and "core_test" in f]
+        self.assertTrue(matches, "\n".join(self.findings))
+
+    def test_tsan_coverage(self):
+        self.assert_finding("tests/conc_test.cc:1", "tsan-coverage")
+
+    def test_module_dag(self):
+        self.assert_finding("src/common/bad_dag.h:1", "module-dag")
+
+    def test_raw_mutex(self):
+        self.assert_finding("src/exec/bad_sync.h:2", "raw-mutex")
+
+    def test_no_unexpected_findings(self):
+        # Every fixture finding is one of the seeded ones: no rule
+        # misfires on the clean fixture files.
+        seeded = ("bad_bytes.cc", "bad_tmp.cc", "orphan_test.cc",
+                  "conc_test.cc", "ci.yml", "bad_dag.h", "bad_sync.h")
+        for f in self.findings:
+            self.assertTrue(any(s in f for s in seeded),
+                            f"unexpected finding: {f}")
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_real_tree_is_clean(self):
+        findings = check_invariants.run(REPO_ROOT)
+        self.assertEqual(findings, [],
+                         "the shipped tree must satisfy its own invariants")
+
+
+if __name__ == "__main__":
+    unittest.main()

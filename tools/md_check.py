@@ -1,5 +1,7 @@
 #!/usr/bin/env python3
-"""Markdown hygiene checker for README.md, ROADMAP.md and docs/.
+"""Markdown hygiene checker for the repo's prose: README.md, ROADMAP.md,
+CHANGES.md, ISSUE.md (when present) and docs/. File discovery is shared
+with tools/check_invariants.py via tools/repo_files.py.
 
 Two layers, both stdlib-only so CI needs nothing beyond python3:
 
@@ -23,6 +25,12 @@ import pathlib
 import re
 import subprocess
 import sys
+
+try:
+    import repo_files
+except ImportError:  # invoked as tools/md_check.py from the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import repo_files
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
@@ -163,9 +171,7 @@ def main():
     args = parser.parse_args()
 
     repo_root = pathlib.Path(args.repo_root).resolve()
-    files = [repo_root / "README.md", repo_root / "ROADMAP.md"]
-    files += sorted((repo_root / "docs").glob("**/*.md"))
-    files = [f for f in files if f.exists()]
+    files = repo_files.markdown_files(repo_root)
     if not files:
         sys.stderr.write("no markdown files found — wrong --repo-root?\n")
         return 2
