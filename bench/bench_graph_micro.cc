@@ -30,6 +30,7 @@
 #include "net/net_client.h"
 #include "net/net_server.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/match_service.h"
 #include "shard/sharded_pipeline.h"
@@ -386,8 +387,9 @@ BENCHMARK(BM_ServeQuery);
 // (frame encode -> loopback socket -> server decode -> snapshot query ->
 // reply) against BM_ServeQuery's in-process baseline. /threads:N runs N
 // concurrent clients, each on its own connection: items_per_second at the
-// highest thread count is the saturation QPS, and the p99_us counter is
-// the per-thread p99 round-trip latency (averaged across threads).
+// highest thread count is the saturation QPS, and the p50_us / p99_us
+// counters are per-thread round-trip latency percentiles (averaged across
+// threads; exact nearest-rank via obs::SampleQuantile).
 // BM_NetQueryBurst pipelines `burst` requests per call — the batching
 // path: one epoch resolution and one send per burst. Compare rows within
 // one artifact only.
@@ -434,9 +436,13 @@ void BM_NetQuery(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   if (!latencies_us.empty()) {
-    std::sort(latencies_us.begin(), latencies_us.end());
+    // Exact nearest-rank percentiles via the obs library (the same
+    // definition tests/obs_test.cc pins), not an ad-hoc index.
+    state.counters["p50_us"] = benchmark::Counter(
+        obs::SampleQuantile(latencies_us, 0.50),
+        benchmark::Counter::kAvgThreads);
     state.counters["p99_us"] = benchmark::Counter(
-        latencies_us[latencies_us.size() * 99 / 100],
+        obs::SampleQuantile(latencies_us, 0.99),
         benchmark::Counter::kAvgThreads);
   }
 }

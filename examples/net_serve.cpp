@@ -7,8 +7,13 @@
 // after the run, every record's answer over the wire must equal the direct
 // MatchService::View() answer. Exits nonzero on any violation.
 //
+// The whole stack runs instrumented (obs/metrics.h): the pipeline, the
+// service and the server share one MetricsRegistry, and the final scrape
+// goes over the wire via the kMetrics opcode — the same path a production
+// collector would use. `--metrics-dump text|json` prints the scrape.
+//
 //   ./examples/net_serve [--groups N] [--batches K] [--clients C]
-//       [--num_threads T]
+//       [--num_threads T] [--metrics-dump text|json]
 
 #include <algorithm>
 #include <atomic>
@@ -24,6 +29,7 @@
 #include "matching/baselines.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "obs/metrics.h"
 #include "serve/match_service.h"
 #include "stream/incremental_pipeline.h"
 
@@ -54,10 +60,16 @@ int main(int argc, char** argv) {
       ResolveNumThreads(flags.GetInt("num_threads", 2));
   HeuristicIdMatcher matcher;
 
+  // One registry across the whole stack: pipeline phases, publish latency,
+  // and the server's RPC/shedding instruments all land in it.
+  obs::MetricsRegistry registry;
+  config.pipeline.metrics = &registry;
+
   IncrementalPipeline pipeline(config);
-  MatchService service;
+  MatchService service(&registry);
   NetServerOptions options;
   options.max_connections = num_clients + 1;
+  options.metrics = &registry;
   auto server = NetServer::Start(&service, options);
   if (!server.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -168,6 +180,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Scrape the live server over the wire — the kMetrics opcode answers
+  // with the registry's text dump, exactly what a collector would pull.
+  auto scrape = (*checker)->Metrics();
+  if (!scrape.ok() ||
+      scrape->find("net_requests_served_total") == std::string::npos ||
+      scrape->find("pipeline_scoring_seconds_count") == std::string::npos) {
+    std::fprintf(stderr, "FAIL: wire metrics scrape missing expected "
+                         "instruments\n");
+    return 1;
+  }
+
   const NetServerCounters counters = (*server)->counters();
   (*server)->Stop();
   std::printf("\nFinal epoch %llu: %zu records, %zu groups; %zu client "
@@ -177,5 +200,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(counters.batches),
               static_cast<unsigned long long>(counters.connections_accepted));
   std::printf("PASS: every wire answer equals the direct view's.\n");
+
+  const std::string dump_mode = flags.GetString("metrics-dump", "");
+  if (dump_mode == "json") {
+    std::printf("%s\n", obs::DumpMetricsJson(registry).c_str());
+  } else if (!dump_mode.empty()) {
+    std::printf("%s", obs::DumpMetricsText(registry).c_str());
+  }
   return 0;
 }

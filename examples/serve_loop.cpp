@@ -11,8 +11,15 @@
 // must be identical to a run that never restarted (and the restore itself
 // bitwise-identical to the saved state).
 //
+// The run is instrumented (obs/metrics.h): pipeline phase latencies and
+// publish timings land in one MetricsRegistry, the checkpoint drill is
+// timed at the call site (serve/checkpoint.h itself stays obs-free), and
+// the restored pipeline is re-wired via set_metrics() — the registry
+// pointer never enters checkpoint bytes. `--metrics-dump text|json`
+// prints the final scrape.
+//
 //   ./examples/serve_loop [--groups N] [--batches K] [--readers R]
-//       [--num_threads T] [--checkpoint PATH]
+//       [--num_threads T] [--checkpoint PATH] [--metrics-dump text|json]
 
 #include <algorithm>
 #include <atomic>
@@ -29,6 +36,7 @@
 #include "datagen/financial_gen.h"
 #include "exec/thread_pool.h"
 #include "matching/baselines.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/match_service.h"
 #include "stream/incremental_pipeline.h"
@@ -86,8 +94,13 @@ int main(int argc, char** argv) {
       ResolveNumThreads(flags.GetInt("num_threads", 2));
   HeuristicIdMatcher matcher;
 
+  // One registry for the run: pipeline phases, publish latency, and the
+  // call-site-timed checkpoint drill all record into it.
+  obs::MetricsRegistry registry;
+  config.pipeline.metrics = &registry;
+
   auto pipeline = std::make_unique<IncrementalPipeline>(config);
-  MatchService service;
+  MatchService service(&registry);
 
   // Readers hammer the service for the whole run: they see epoch 0 (empty)
   // until the first publish, then whichever epoch is current.
@@ -156,20 +169,34 @@ int main(int argc, char** argv) {
     // Durability drill: save, destroy, restore, and verify the restored
     // snapshot matches the live one bitwise before continuing.
     const PipelineResult before = pipeline->Snapshot().ValueOrDie();
-    Status st = SaveCheckpoint(*pipeline, checkpoint_path);
+    // The checkpoint layer is deliberately obs-free (nothing in it may
+    // observe the registry), so durability is timed here at the call site.
+    Status st;
+    {
+      obs::TraceScope save_span(
+          registry.GetHistogram("checkpoint_save_seconds"));
+      st = SaveCheckpoint(*pipeline, checkpoint_path);
+    }
     if (!st.ok()) {
       std::fprintf(stderr, "checkpoint save failed: %s\n",
                    st.ToString().c_str());
       return 1;
     }
     pipeline.reset();
-    auto restored = LoadCheckpoint(checkpoint_path, matcher);
+    Result<std::unique_ptr<IncrementalPipeline>> restored = [&] {
+      obs::TraceScope load_span(
+          registry.GetHistogram("checkpoint_load_seconds"));
+      return LoadCheckpoint(checkpoint_path, matcher);
+    }();
     if (!restored.ok()) {
       std::fprintf(stderr, "checkpoint load failed: %s\n",
                    restored.status().ToString().c_str());
       return 1;
     }
     pipeline = restored.MoveValueUnsafe();
+    // The metrics pointer is runtime-only state, never serialized: a
+    // restored pipeline comes back uninstrumented until re-wired.
+    pipeline->set_metrics(&registry);
     if (!SameResult(pipeline->Snapshot().ValueOrDie(), before)) {
       std::fprintf(stderr, "restored snapshot differs from saved state\n");
       return 1;
@@ -193,13 +220,24 @@ int main(int argc, char** argv) {
               stats.num_groups, stats.num_matched_groups,
               stats.num_predicted_pairs, total_queries.load());
 
-  // The streaming + restart run must equal a from-scratch batch run.
+  // The streaming + restart run must equal a from-scratch batch run. The
+  // oracle runs uninstrumented so the dump below reflects only the serving
+  // run.
+  IncrementalPipelineConfig reference_config = config;
+  reference_config.pipeline.metrics = nullptr;
   if (!SameResult(pipeline->Snapshot().ValueOrDie(),
-                  Reference(pipeline->records(), config, matcher))) {
+                  Reference(pipeline->records(), reference_config, matcher))) {
     std::fprintf(stderr, "FAIL: final snapshot differs from the from-scratch "
                          "reference\n");
     return 1;
   }
   std::printf("PASS: final snapshot equals the from-scratch reference.\n");
+
+  const std::string dump_mode = flags.GetString("metrics-dump", "");
+  if (dump_mode == "json") {
+    std::printf("%s\n", obs::DumpMetricsJson(registry).c_str());
+  } else if (!dump_mode.empty()) {
+    std::printf("%s", obs::DumpMetricsText(registry).c_str());
+  }
   return 0;
 }

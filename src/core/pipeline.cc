@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "core/score_batching.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace gralmatch {
 
@@ -32,16 +33,28 @@ PipelineResult EntityGroupPipeline::Run(const Dataset& dataset,
   // wall-clock at any thread count. Each chunk writes only its own score
   // slice, keeping the positive set order-identical to serial — and the
   // ScoreBatch contract keeps it bitwise-identical to per-pair scoring.
+  const obs::PipelineMetrics metrics =
+      obs::PipelineMetrics::Create(config_.metrics);
   Stopwatch watch;
   std::vector<RecordPair> pairs;
   pairs.reserve(candidates.size());
   for (const Candidate& cand : candidates) pairs.push_back(cand.pair);
   std::vector<double> scores(candidates.size(), 0.0);
-  ScorePairsBatched(pool.get(), dataset.records, matcher,
-                    Span<const RecordPair>(pairs.data(), pairs.size()),
-                    config_.score_batch_size,
-                    Span<double>(scores.data(), scores.size()));
+  {
+    CascadeStatsScope cascade_scope(matcher, metrics.cascade_gate_resolved,
+                                    metrics.cascade_escalated);
+    ScorePairsBatched(pool.get(), dataset.records, matcher,
+                      Span<const RecordPair>(pairs.data(), pairs.size()),
+                      config_.score_batch_size,
+                      Span<double>(scores.data(), scores.size()));
+  }
   const double inference_seconds = watch.ElapsedSeconds();
+  if (metrics.scoring_seconds != nullptr) {
+    metrics.scoring_seconds->Observe(inference_seconds);
+  }
+  if (metrics.pairs_scored != nullptr) {
+    metrics.pairs_scored->Increment(candidates.size());
+  }
 
   std::vector<Candidate> positives;
   positives.reserve(candidates.size() / 4 + 1);

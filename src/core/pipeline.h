@@ -19,6 +19,10 @@ namespace gralmatch {
 
 class ThreadPool;
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Pipeline parameters.
 struct PipelineConfig {
   GraphCleanupConfig cleanup;
@@ -39,6 +43,12 @@ struct PipelineConfig {
   /// any value — including 1 — produces bitwise-identical results, so this
   /// is purely a throughput knob. 0 behaves like 1.
   size_t score_batch_size = 64;
+  /// Optional observability sink (obs/metrics.h). Runtime-only and inert:
+  /// the pointer is never serialized (checkpoint configs enumerate their
+  /// fields explicitly), never compared, and never influences any output —
+  /// null (the default) skips all recording. Restored pipelines start with
+  /// metrics unset; re-wire after load if scraping should continue.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Snapshots of the three evaluation stages.

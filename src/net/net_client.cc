@@ -95,6 +95,12 @@ Result<ServeStats> NetClient::Stats() {
   return reply.stats;
 }
 
+Result<std::string> NetClient::Metrics() {
+  GRALMATCH_ASSIGN_OR_RETURN(NetReply reply,
+                             RoundTrip(NetRequest::Metrics()));
+  return std::move(reply.metrics);
+}
+
 Result<std::vector<NetReply>> NetClient::Call(
     const std::vector<NetRequest>& batch) {
   std::string burst;

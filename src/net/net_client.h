@@ -8,7 +8,7 @@
 /// real connection pool would).
 ///
 /// Two layers:
-///  - Typed calls (GroupOf / Members / Stats / Call): encode, send, and
+///  - Typed calls (GroupOf / Members / Stats / Metrics / Call): encode, send, and
 ///    decode; a server-side per-request error comes back as the Result's
 ///    Status.
 ///  - Raw access (SendBytes / ReadReply): the protocol tests inject
@@ -44,6 +44,9 @@ class NetClient {
   Result<NetReply> GroupOf(RecordId record);
   Result<NetReply> Members(GroupId group);
   Result<ServeStats> Stats();
+  /// Scrape the server's metrics registry: the Prometheus-style text dump
+  /// (obs::DumpMetricsText). Errors if the server has no registry wired.
+  Result<std::string> Metrics();
 
   /// Pipelined burst: write every request frame back to back, then read
   /// the replies. The server resolves the burst against one epoch (up to

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "net/wire.h"
 
 namespace gralmatch {
@@ -108,7 +109,8 @@ NetServer::NetServer(const MatchService* service,
       options_(options),
       listen_fd_(listen_fd),
       port_(port),
-      pool_(std::make_unique<ThreadPool>(options.max_connections)) {
+      pool_(std::make_unique<ThreadPool>(options.max_connections)),
+      metrics_(obs::NetMetrics::Create(options.metrics)) {
   acceptor_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -163,6 +165,9 @@ void NetServer::AcceptLoop() {
     }
     if (!admitted) {
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.shed_connection_cap != nullptr) {
+        metrics_.shed_connection_cap->Increment();
+      }
       // Discard audited: best-effort courtesy frame to a connection being
       // refused — the fd is closed right after whether the send lands or not.
       (void)SendAll(fd, ErrorFrame(Status::OutOfRange(
@@ -219,6 +224,16 @@ void NetServer::ServeConnection(int fd) {
     // then the error frame is the last thing the peer reads before EOF.
     if (!batch.empty() && !ServeBatch(fd, batch)) return;
     if (!framing.ok()) {
+      // Shed accounting: an over-cap length prefix is kOutOfRange (the one
+      // admission-control framing rejection); everything else — bad magic,
+      // future version, checksum mismatch — is a fatal framing error.
+      if (framing.code() == StatusCode::kOutOfRange) {
+        if (metrics_.shed_frame_size != nullptr) {
+          metrics_.shed_frame_size->Increment();
+        }
+      } else if (metrics_.shed_framing_fatal != nullptr) {
+        metrics_.shed_framing_fatal->Increment();
+      }
       // Discard audited: best-effort error frame on an already-poisoned
       // stream; the connection closes either way.
       (void)SendAll(fd, ErrorFrame(framing));
@@ -246,6 +261,8 @@ bool NetServer::ServeBatch(int fd, const std::vector<std::string>& bodies) {
   // is answered from the same epoch.
   const MatchSnapshotPtr view = service_->View();
   batches_.fetch_add(1, std::memory_order_relaxed);
+  // Per-request phase timing is only paid when a registry is wired.
+  const bool instrumented = metrics_.rpc_decode_seconds != nullptr;
   std::string out;
   for (size_t k = 0; k < bodies.size(); ++k) {
     NetReply reply;
@@ -255,8 +272,16 @@ bool NetServer::ServeBatch(int fd, const std::vector<std::string>& bodies) {
           std::to_string(options_.max_in_flight_requests) +
           " requests already in flight");
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.shed_overload != nullptr) {
+        metrics_.shed_overload->Increment();
+      }
     } else {
+      Stopwatch phase_watch;
       auto request = DecodeNetRequestBody(bodies[k]);
+      if (instrumented) {
+        metrics_.rpc_decode_seconds->Observe(phase_watch.ElapsedSeconds());
+        phase_watch.Reset();
+      }
       if (!request.ok()) {
         reply.status = request.status();
       } else {
@@ -278,11 +303,30 @@ bool NetServer::ServeBatch(int fd, const std::vector<std::string>& bodies) {
           case NetOpcode::kStats:
             reply.stats = view->stats();
             break;
+          case NetOpcode::kMetrics:
+            if (options_.metrics == nullptr) {
+              reply.status = Status::NotFound(
+                  "metrics not enabled on this server: start it with "
+                  "NetServerOptions::metrics wired to a registry");
+            } else {
+              reply.metrics = obs::DumpMetricsText(*options_.metrics);
+            }
+            break;
         }
       }
+      if (instrumented) {
+        metrics_.rpc_dispatch_seconds->Observe(phase_watch.ElapsedSeconds());
+      }
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_.requests_served != nullptr) {
+        metrics_.requests_served->Increment();
+      }
     }
+    Stopwatch encode_watch;
     out += EncodeNetFrame(EncodeNetReplyBody(reply));
+    if (instrumented) {
+      metrics_.rpc_encode_seconds->Observe(encode_watch.ElapsedSeconds());
+    }
   }
   if (admitted > 0) in_flight_.fetch_sub(admitted, std::memory_order_relaxed);
   return SendAll(fd, out).ok();

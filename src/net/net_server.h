@@ -6,7 +6,8 @@
 /// of taking epoch-snapshot serving out of process. A NetServer listens on
 /// a loopback TCP port, speaks the framed wire protocol of net/wire.h, and
 /// answers GroupOf / Members / Stats queries against the service's current
-/// epoch.
+/// epoch (plus Metrics scrapes of an optionally wired
+/// obs::MetricsRegistry).
 ///
 /// Threading model: one dedicated listener thread accepts connections;
 /// each accepted connection runs a blocking reader loop as one task on an
@@ -41,6 +42,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/match_service.h"
 
 namespace gralmatch {
@@ -59,6 +61,12 @@ struct NetServerOptions {
   /// Most requests resolved against one snapshot per drain of a
   /// connection's pipelined burst.
   size_t max_batch = 64;
+  /// Optional observability sink (obs/metrics.h). When non-null the server
+  /// records RPC decode/dispatch/encode latency histograms, served-request
+  /// counters, and the four load-shedding counters, and answers the
+  /// kMetrics scrape opcode with this registry's text dump. Null (the
+  /// default) records nothing and kMetrics gets a per-request error.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate serving counters (monotonic since Start).
@@ -125,6 +133,10 @@ class NetServer {
   /// shuts down, which is safe against concurrent use.
   Mutex conn_mu_;
   std::unordered_set<int> conn_fds_ GUARDED_BY(conn_mu_);
+
+  /// Resolved instrument pointers (all null without options.metrics);
+  /// written once in the constructor, read from listener and pool threads.
+  const obs::NetMetrics metrics_;
 
   std::atomic<size_t> active_connections_{0};
   std::atomic<size_t> in_flight_{0};

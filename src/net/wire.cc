@@ -14,12 +14,18 @@ Status CheckOpcode(uint8_t raw, NetOpcode* op) {
     case static_cast<uint8_t>(NetOpcode::kGroupOf):
     case static_cast<uint8_t>(NetOpcode::kMembers):
     case static_cast<uint8_t>(NetOpcode::kStats):
+    case static_cast<uint8_t>(NetOpcode::kMetrics):
       *op = static_cast<NetOpcode>(raw);
       return Status::OK();
     default:
       return Status::InvalidArgument("unknown RPC opcode " +
                                      std::to_string(raw));
   }
+}
+
+/// GroupOf and Members carry an i64 operand; Stats and Metrics carry none.
+bool HasOperand(NetOpcode op) {
+  return op == NetOpcode::kGroupOf || op == NetOpcode::kMembers;
 }
 
 }  // namespace
@@ -60,7 +66,7 @@ Result<std::string_view> DecodeNetFrame(const std::string& image) {
 std::string EncodeNetRequestBody(const NetRequest& request) {
   BinaryWriter body;
   body.WriteU8(static_cast<uint8_t>(request.op));
-  if (request.op != NetOpcode::kStats) body.WriteI64(request.id);
+  if (HasOperand(request.op)) body.WriteI64(request.id);
   return body.buffer();
 }
 
@@ -70,7 +76,7 @@ Result<NetRequest> DecodeNetRequestBody(std::string_view body) {
   GRALMATCH_RETURN_NOT_OK(reader.ReadU8(&raw_op));
   NetRequest request;
   GRALMATCH_RETURN_NOT_OK(CheckOpcode(raw_op, &request.op));
-  if (request.op != NetOpcode::kStats) {
+  if (HasOperand(request.op)) {
     GRALMATCH_RETURN_NOT_OK(reader.ReadI64(&request.id));
   }
   if (!reader.AtEnd()) {
@@ -103,6 +109,9 @@ std::string EncodeNetReplyBody(const NetReply& reply) {
       body.WriteU64(reply.stats.num_groups);
       body.WriteU64(reply.stats.num_matched_groups);
       body.WriteU64(reply.stats.num_predicted_pairs);
+      break;
+    case NetOpcode::kMetrics:
+      body.WriteString(reply.metrics);
       break;
   }
   return body.buffer();
@@ -161,6 +170,10 @@ Result<NetReply> DecodeNetReplyBody(std::string_view body) {
       reply.stats.num_predicted_pairs = static_cast<size_t>(pairs);
       break;
     }
+    case NetOpcode::kMetrics: {
+      GRALMATCH_RETURN_NOT_OK(reader.ReadString(&reply.metrics));
+      break;
+    }
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(
@@ -182,7 +195,10 @@ Status NetFrameBuffer::NextFrame(bool* has_frame, std::string* body) {
   uint64_t body_size = 0;
   GRALMATCH_RETURN_NOT_OK(prefix.ReadU64(&body_size));
   if (body_size > max_frame_size_) {
-    return Status::InvalidArgument(
+    // kOutOfRange, distinct from the kInvalidArgument/kIoError of the other
+    // framing failures: the frame is well-formed but over this receiver's
+    // cap, and the server's shed accounting classifies on the code.
+    return Status::OutOfRange(
         "RPC frame body of " + std::to_string(body_size) +
         " bytes exceeds this receiver's limit of " +
         std::to_string(max_frame_size_));

@@ -25,7 +25,7 @@
 /// BinaryReader::ReadCount's allocation-bomb guard.
 ///
 /// Request body:  u8 opcode, then the operand (i64 record id for GroupOf,
-/// i64 group id for Members, nothing for Stats).
+/// i64 group id for Members, nothing for Stats or Metrics).
 /// Response body: u8 status code (StatusCode cast to u8); a non-OK code is
 /// followed by the length-prefixed error message, an OK code by the u8
 /// opcode being answered, the u64 epoch the answer was resolved against,
@@ -54,11 +54,18 @@ constexpr size_t kNetFrameHeaderSize = 20;
 /// Bytes after the body: the trailing checksum.
 constexpr size_t kNetFrameTrailerSize = 8;
 
-/// The queries MatchService answers, as wire opcodes.
+/// The queries the server answers, as wire opcodes. kMetrics (added after
+/// version 1 shipped) needed no frame-version bump: opcodes are validated
+/// per request, so an older server answers it with a clean "unknown RPC
+/// opcode" error reply instead of tearing down the connection.
 enum class NetOpcode : uint8_t {
   kGroupOf = 1,
   kMembers = 2,
   kStats = 3,
+  /// Scrape the server's MetricsRegistry; the payload is the Prometheus-
+  /// style DumpMetricsText() string. Servers without a wired registry
+  /// answer a per-request error.
+  kMetrics = 4,
 };
 
 /// One decoded request.
@@ -77,6 +84,7 @@ struct NetRequest {
     return {NetOpcode::kMembers, group};
   }
   static NetRequest Stats() { return {NetOpcode::kStats, 0}; }
+  static NetRequest Metrics() { return {NetOpcode::kMetrics, 0}; }
 };
 
 /// One decoded response. `status` carries a per-request server-side error
@@ -91,6 +99,7 @@ struct NetReply {
   GroupId group = kNoGroup;        ///< GroupOf payload
   std::vector<RecordId> members;   ///< Members payload
   ServeStats stats;                ///< Stats payload
+  std::string metrics;             ///< Metrics payload (text exposition)
 };
 
 /// Wrap `body` in a complete frame (magic, version, length prefix,

@@ -45,12 +45,14 @@ const std::vector<RecordId>& MatchSnapshot::Members(GroupId group) const {
   return groups_[static_cast<size_t>(group)];
 }
 
-MatchService::MatchService() {
+MatchService::MatchService(obs::MetricsRegistry* metrics)
+    : metrics_(obs::ServeMetrics::Create(metrics)) {
   current_ = std::make_shared<const MatchSnapshot>(0, PipelineResult{}, 0);
 }
 
 uint64_t MatchService::Publish(const PipelineResult& result,
                                size_t num_records) {
+  obs::TraceScope publish_span(metrics_.publish_seconds);
   // The publish mutex serializes writers only (epoch draw + snapshot build
   // + swap). Readers never take it: they keep serving their previous
   // snapshot, which its shared_ptr keeps alive, until the swap lands.
@@ -60,6 +62,11 @@ uint64_t MatchService::Publish(const PipelineResult& result,
       std::make_shared<const MatchSnapshot>(epoch, result, num_records);
   std::atomic_store_explicit(&current_, MatchSnapshotPtr(std::move(snapshot)),
                              std::memory_order_release);
+  if (metrics_.epochs_published != nullptr) {
+    metrics_.epochs_published->Increment();
+    metrics_.current_epoch->Set(static_cast<int64_t>(epoch));
+    metrics_.serving_records->Set(static_cast<int64_t>(num_records));
+  }
   return epoch;
 }
 

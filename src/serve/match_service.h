@@ -28,6 +28,7 @@
 #include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "data/record.h"
+#include "obs/metrics.h"
 
 namespace gralmatch {
 
@@ -88,8 +89,11 @@ using MatchSnapshotPtr = std::shared_ptr<const MatchSnapshot>;
 class MatchService {
  public:
   /// Starts at epoch 0 with an empty snapshot, so readers never observe a
-  /// null view.
-  MatchService();
+  /// null view. An optional registry (obs/metrics.h) records publish
+  /// latency plus current-epoch/record gauges; null records nothing.
+  /// Observability is inert — it never shows up in ServeStats, snapshots
+  /// or any comparison.
+  explicit MatchService(obs::MetricsRegistry* metrics = nullptr);
 
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
@@ -123,6 +127,9 @@ class MatchService {
   /// a compile error under -Wthread-safety.
   MatchSnapshotPtr current_ GUARDED_BY(publish_mu_);
   uint64_t next_epoch_ GUARDED_BY(publish_mu_) = 1;
+  /// Resolved instrument pointers (all null when no registry was given).
+  /// Written only in the constructor, so recording needs no extra locking.
+  const obs::ServeMetrics metrics_;
 };
 
 }  // namespace gralmatch

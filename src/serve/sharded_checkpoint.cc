@@ -107,7 +107,11 @@ Result<std::vector<std::string>> ShardFilePaths(const std::string& dir) {
 }
 
 Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
-                             const std::string& dir) {
+                             const std::string& dir,
+                             obs::MetricsRegistry* metrics) {
+  obs::TraceScope save_span(
+      metrics == nullptr ? nullptr
+                         : metrics->GetHistogram("checkpoint_save_seconds"));
   GRALMATCH_RETURN_NOT_OK(pipeline.status());
   if (mkdir(dir.c_str(), 0777) != 0) {
     if (errno != EEXIST) {
@@ -183,7 +187,10 @@ Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
 
 Result<std::unique_ptr<ShardedPipeline>> LoadShardedCheckpoint(
     const std::string& dir, const PairwiseMatcher& matcher,
-    size_t num_threads_override) {
+    size_t num_threads_override, obs::MetricsRegistry* metrics) {
+  obs::TraceScope load_span(
+      metrics == nullptr ? nullptr
+                         : metrics->GetHistogram("checkpoint_load_seconds"));
   GRALMATCH_ASSIGN_OR_RETURN(const std::string manifest_image,
                              ReadWholeFile(ShardedManifestPath(dir)));
   BinaryReader manifest(manifest_image);

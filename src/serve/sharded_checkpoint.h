@@ -69,6 +69,7 @@
 
 #include "common/status.h"
 #include "matching/matcher.h"
+#include "obs/metrics.h"
 #include "shard/sharded_pipeline.h"
 
 namespace gralmatch {
@@ -81,17 +82,24 @@ constexpr uint32_t kShardedCheckpointVersion = 2;
 /// Write a checkpoint of `pipeline` under the directory `dir` (created if
 /// absent). Content-addressed shard files first, the manifest atomically
 /// last (see file comment for the crash-safety argument), then unreferenced
-/// shard files are garbage-collected.
+/// shard files are garbage-collected. A non-null `metrics` records the
+/// save's wall-clock into `checkpoint_save_seconds` — timing only; the
+/// checkpoint bytes are identical either way (the single-file checkpoint
+/// API in checkpoint.h stays metrics-free entirely; its callers time it).
 Status SaveShardedCheckpoint(const ShardedPipeline& pipeline,
-                             const std::string& dir);
+                             const std::string& dir,
+                             obs::MetricsRegistry* metrics = nullptr);
 
 /// Read and validate a checkpoint directory; `matcher` must carry the
 /// fingerprint the checkpoint was saved under ("" pre-ingest checkpoints
 /// load under any matcher). `num_threads_override` replaces the saved
-/// thread count when nonzero.
+/// thread count when nonzero. A non-null `metrics` records the load's
+/// wall-clock into `checkpoint_load_seconds`; the restored pipeline itself
+/// always starts with `PipelineConfig::metrics == nullptr` — re-wire it
+/// via `config()` semantics at the call site if scraping should continue.
 Result<std::unique_ptr<ShardedPipeline>> LoadShardedCheckpoint(
     const std::string& dir, const PairwiseMatcher& matcher,
-    size_t num_threads_override = 0);
+    size_t num_threads_override = 0, obs::MetricsRegistry* metrics = nullptr);
 
 /// Path of the manifest inside a checkpoint directory.
 std::string ShardedManifestPath(const std::string& dir);

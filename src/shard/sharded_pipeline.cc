@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/score_batching.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace gralmatch {
 
@@ -129,10 +130,13 @@ IngestReport ShardedPipeline::MutateImpl(
     const std::vector<Record>& adds, const std::vector<RecordId>& removal_ids,
     const PairwiseMatcher& matcher) {
   const size_t num_shards = shards_.size();
+  const obs::PipelineMetrics metrics =
+      obs::PipelineMetrics::Create(config_.base.pipeline.metrics);
   IngestReport report;
   report.records_added = adds.size();
   report.records_removed = removal_ids.size();
 
+  Stopwatch route_watch;
   // Phase 1 — route. Records keep global contiguous ids; the router only
   // decides which shard-local state owns them. Tombstoned records keep
   // their slot in the table and their owner's `owned` list (checkpoint
@@ -158,7 +162,11 @@ IngestReport ShardedPipeline::MutateImpl(
     for (ShardState& shard : shards_) shard.score_cache.clear();
   }
   fingerprint_ = fingerprint;
+  if (metrics.route_seconds != nullptr) {
+    metrics.route_seconds->Observe(route_watch.ElapsedSeconds());
+  }
 
+  Stopwatch exchange_watch;
   // Phase 2 — candidate exchange. Retraction first: the exchange pulls the
   // tombstoned records' keys out of the global indexes (re-extracted from
   // the retained payloads — no shard republishes anything). Then each shard
@@ -230,6 +238,9 @@ IngestReport ShardedPipeline::MutateImpl(
   std::sort(prov_changed.begin(), prov_changed.end());
   report.candidates_added = cand_added.size();
   report.candidates_removed = cand_removed.size();
+  if (metrics.exchange_seconds != nullptr) {
+    metrics.exchange_seconds->Observe(exchange_watch.ElapsedSeconds());
+  }
 
   // Evict cached scores touching a tombstoned record from their owner
   // shards. Ids never recycle, so an evicted entry can never be asked for
@@ -284,10 +295,14 @@ IngestReport ShardedPipeline::MutateImpl(
   // it), so results are bitwise-identical to per-pair at any thread count.
   Stopwatch scoring_watch;
   std::vector<double> scores(flat.size(), 0.0);
-  ScorePairsBatched(pool_.get(), records_, matcher,
-                    Span<const RecordPair>(flat.data(), flat.size()),
-                    config_.base.pipeline.score_batch_size,
-                    Span<double>(scores.data(), scores.size()));
+  {
+    CascadeStatsScope cascade_scope(matcher, metrics.cascade_gate_resolved,
+                                    metrics.cascade_escalated);
+    ScorePairsBatched(pool_.get(), records_, matcher,
+                      Span<const RecordPair>(flat.data(), flat.size()),
+                      config_.base.pipeline.score_batch_size,
+                      Span<double>(scores.data(), scores.size()));
+  }
   report.scoring_seconds = scoring_watch.ElapsedSeconds();
   scoring_seconds_total_ += report.scoring_seconds;
   for (size_t k = 0; k < flat.size(); ++k) {
@@ -354,6 +369,23 @@ IngestReport ShardedPipeline::MutateImpl(
   report.components_reused = cleanup.components_reused;
   report.cleanup_seconds = cleanup_watch.ElapsedSeconds();
   cleanup_seconds_total_ += report.cleanup_seconds;
+
+  // Observability rollup (null-guarded, inert: the report is the semantic
+  // output and does not depend on whether a registry is wired). The merge
+  // phase doubles as the cleanup phase here, so it feeds both histograms.
+  if (config_.base.pipeline.metrics != nullptr) {
+    metrics.scoring_seconds->Observe(report.scoring_seconds);
+    metrics.merge_seconds->Observe(report.cleanup_seconds);
+    metrics.cleanup_seconds->Observe(report.cleanup_seconds);
+    metrics.mutations->Increment();
+    metrics.records_added->Increment(report.records_added);
+    metrics.records_removed->Increment(report.records_removed);
+    metrics.pairs_scored->Increment(report.pairs_scored);
+    metrics.cache_hits->Increment(report.cache_hits);
+    metrics.cache_evictions->Increment(report.cache_evictions);
+    metrics.components_rebuilt->Increment(report.components_rebuilt);
+    metrics.components_reused->Increment(report.components_reused);
+  }
   return report;
 }
 

@@ -137,6 +137,15 @@ class ShardedPipeline {
   size_t num_live() const { return records_.size() - num_dead_; }
 
   const ShardedPipelineConfig& config() const { return config_; }
+
+  /// Re-wire the observability sink. Runtime-only — never serialized into
+  /// the manifest or shard bodies — so a pipeline restored from a sharded
+  /// checkpoint always comes back uninstrumented; call this to resume
+  /// recording into a caller-owned registry.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    config_.base.pipeline.metrics = metrics;
+  }
+
   const ShardRouter& router() const { return router_; }
   size_t num_shards() const { return shards_.size(); }
 

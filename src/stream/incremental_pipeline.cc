@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/score_batching.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace gralmatch {
 
@@ -112,6 +113,8 @@ Result<IngestReport> IncrementalPipeline::Update(
 IngestReport IncrementalPipeline::MutateImpl(
     const std::vector<Record>& adds, const std::vector<RecordId>& removal_ids,
     const PairwiseMatcher& matcher) {
+  const obs::PipelineMetrics metrics =
+      obs::PipelineMetrics::Create(config_.pipeline.metrics);
   IngestReport report;
   report.records_added = adds.size();
   report.records_removed = removal_ids.size();
@@ -133,6 +136,7 @@ IngestReport IncrementalPipeline::MutateImpl(
   // before absorption per index; the candidate transitions below diff the
   // pre-mutation snapshot against the final state, so they are independent
   // of this internal order.
+  Stopwatch blocking_watch;
   std::unordered_map<RecordPair, uint32_t, RecordPairHash> old_prov;
   auto apply_delta = [&](const CandidateDelta& delta, uint32_t bit) {
     for (const RecordPair& pair : delta.added) {
@@ -175,6 +179,9 @@ IngestReport IncrementalPipeline::MutateImpl(
   std::sort(prov_changed.begin(), prov_changed.end());
   report.candidates_added = cand_added.size();
   report.candidates_removed = cand_removed.size();
+  if (metrics.blocking_seconds != nullptr) {
+    metrics.blocking_seconds->Observe(blocking_watch.ElapsedSeconds());
+  }
 
   // Evict cached scores touching a tombstoned record. Ids never recycle, so
   // an evicted entry can never be asked for again; surviving entries keep
@@ -215,10 +222,14 @@ IngestReport IncrementalPipeline::MutateImpl(
   // the pool — bitwise-identical to the per-pair walk at any thread count.
   Stopwatch scoring_watch;
   std::vector<double> scores(to_score.size(), 0.0);
-  ScorePairsBatched(pool_.get(), records_, matcher,
-                    Span<const RecordPair>(to_score.data(), to_score.size()),
-                    config_.pipeline.score_batch_size,
-                    Span<double>(scores.data(), scores.size()));
+  {
+    CascadeStatsScope cascade_scope(matcher, metrics.cascade_gate_resolved,
+                                    metrics.cascade_escalated);
+    ScorePairsBatched(pool_.get(), records_, matcher,
+                      Span<const RecordPair>(to_score.data(), to_score.size()),
+                      config_.pipeline.score_batch_size,
+                      Span<double>(scores.data(), scores.size()));
+  }
   report.scoring_seconds = scoring_watch.ElapsedSeconds();
   scoring_seconds_total_ += report.scoring_seconds;
   for (size_t k = 0; k < to_score.size(); ++k) {
@@ -267,6 +278,21 @@ IngestReport IncrementalPipeline::MutateImpl(
   report.components_reused = cleanup.components_reused;
   report.cleanup_seconds = cleanup_watch.ElapsedSeconds();
   cleanup_seconds_total_ += report.cleanup_seconds;
+
+  // Observability rollup (null-guarded, inert: the report itself is the
+  // semantic output and is untouched by whether a registry is wired).
+  if (config_.pipeline.metrics != nullptr) {
+    metrics.scoring_seconds->Observe(report.scoring_seconds);
+    metrics.cleanup_seconds->Observe(report.cleanup_seconds);
+    metrics.mutations->Increment();
+    metrics.records_added->Increment(report.records_added);
+    metrics.records_removed->Increment(report.records_removed);
+    metrics.pairs_scored->Increment(report.pairs_scored);
+    metrics.cache_hits->Increment(report.cache_hits);
+    metrics.cache_evictions->Increment(report.cache_evictions);
+    metrics.components_rebuilt->Increment(report.components_rebuilt);
+    metrics.components_reused->Increment(report.components_reused);
+  }
   return report;
 }
 

@@ -171,6 +171,14 @@ class IncrementalPipeline {
 
   const IncrementalPipelineConfig& config() const { return config_; }
 
+  /// Re-wire the observability sink. The registry pointer is runtime-only
+  /// state — it never enters checkpoint bytes — so a pipeline restored via
+  /// Deserialize()/LoadCheckpoint() always comes back uninstrumented; call
+  /// this to resume recording into a registry the caller owns.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    config_.pipeline.metrics = metrics;
+  }
+
   /// Cumulative matcher invocations / cache hits across all ingests.
   size_t total_matcher_calls() const { return total_matcher_calls_; }
   size_t total_cache_hits() const { return total_cache_hits_; }

@@ -11,7 +11,9 @@
 // ingest thread publishes new epochs under concurrent clients (the
 // multi-client stress test, run under TSan in CI) — resolve a pipelined
 // burst against one epoch, and enforce its admission limits with clean
-// errors.
+// errors. Every load-shedding decision is also observable: the admission
+// tests pin the server's obs shed counters, and the kMetrics opcode
+// scrapes the wired registry over the wire.
 
 #include <gtest/gtest.h>
 
@@ -32,6 +34,7 @@
 #include "net/net_client.h"
 #include "net/net_server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "serve/match_service.h"
 #include "stream/incremental_pipeline.h"
 
@@ -57,11 +60,13 @@ TEST(NetWireTest, FrameRoundTrip) {
 TEST(NetWireTest, RequestBodyRoundTrip) {
   for (const NetRequest request :
        {NetRequest::GroupOf(7), NetRequest::Members(123456789),
-        NetRequest::Stats(), NetRequest::GroupOf(-1)}) {
+        NetRequest::Stats(), NetRequest::GroupOf(-1),
+        NetRequest::Metrics()}) {
     auto decoded = DecodeNetRequestBody(EncodeNetRequestBody(request));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded->op, request.op);
-    if (request.op != NetOpcode::kStats) {
+    if (request.op == NetOpcode::kGroupOf ||
+        request.op == NetOpcode::kMembers) {
       EXPECT_EQ(decoded->id, request.id);
     }
   }
@@ -92,7 +97,13 @@ TEST(NetWireTest, ReplyBodyRoundTrip) {
   stats_reply.stats.num_groups = 40;
   stats_reply.stats.num_matched_groups = 25;
   stats_reply.stats.num_predicted_pairs = 77;
-  for (const NetReply& reply : {group_reply, members_reply, stats_reply}) {
+  NetReply metrics_reply;
+  metrics_reply.op = NetOpcode::kMetrics;
+  metrics_reply.epoch = 12;
+  metrics_reply.metrics =
+      "# TYPE pipeline_mutations_total counter\npipeline_mutations_total 3\n";
+  for (const NetReply& reply :
+       {group_reply, members_reply, stats_reply, metrics_reply}) {
     auto decoded = DecodeNetReplyBody(EncodeNetReplyBody(reply));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_TRUE(decoded->status.ok());
@@ -101,6 +112,7 @@ TEST(NetWireTest, ReplyBodyRoundTrip) {
     EXPECT_EQ(decoded->group, reply.group);
     EXPECT_EQ(decoded->members, reply.members);
     EXPECT_TRUE(decoded->stats == reply.stats);
+    EXPECT_EQ(decoded->metrics, reply.metrics);
   }
 
   NetReply error_reply;
@@ -238,6 +250,9 @@ class NetServerTest : public ::testing::Test {
     EXPECT_TRUE(*stats == service_.Stats());
   }
 
+  /// Tests that assert on obs counters set `options.metrics = &registry_`
+  /// before StartServer; the registry must outlive the server.
+  obs::MetricsRegistry registry_;
   HeuristicIdMatcher matcher_;
   std::unique_ptr<IncrementalPipeline> pipeline_;
   MatchService service_;
@@ -359,6 +374,7 @@ TEST_F(NetServerTest, BitFlippedChecksumIsRejected) {
 TEST_F(NetServerTest, OversizedLengthPrefixIsRejectedWithoutAllocation) {
   NetServerOptions options;
   options.max_frame_size = 1024;
+  options.metrics = &registry_;
   StartServer(options);
   auto client = Client();
   BinaryWriter header;
@@ -371,6 +387,10 @@ TEST_F(NetServerTest, OversizedLengthPrefixIsRejectedWithoutAllocation) {
   EXPECT_FALSE(reply->status.ok());
   EXPECT_NE(reply->status.message().find("exceeds"), std::string::npos);
   ExpectStillServing();
+  // The rejection is classified as frame-size shedding, not a framing
+  // fault: the client spoke the protocol, it just asked for too much.
+  EXPECT_EQ(registry_.GetCounter("net_shed_frame_size_total")->Value(), 1u);
+  EXPECT_EQ(registry_.GetCounter("net_shed_framing_fatal_total")->Value(), 0u);
 }
 
 TEST_F(NetServerTest, GarbageThenValidFrameFailsCleanlyAndServerSurvives) {
@@ -415,6 +435,7 @@ TEST_F(NetServerTest, TruncationSweepAcrossARequestFrameNeverWedgesTheServer) {
 TEST_F(NetServerTest, ConnectionsPastTheCapAreRejectedWithACleanError) {
   NetServerOptions options;
   options.max_connections = 1;
+  options.metrics = &registry_;
   StartServer(options);
   auto first = Client();
   ASSERT_TRUE(first->Stats().ok());  // the slot is definitely occupied
@@ -426,6 +447,9 @@ TEST_F(NetServerTest, ConnectionsPastTheCapAreRejectedWithACleanError) {
   EXPECT_NE(reply->status.message().find("connection capacity"),
             std::string::npos);
   EXPECT_GE(server_->counters().connections_rejected, 1u);
+  // The obs shed counter tracks the server's own rejection count exactly.
+  EXPECT_EQ(registry_.GetCounter("net_shed_connection_cap_total")->Value(),
+            server_->counters().connections_rejected);
   // The admitted connection is unaffected.
   EXPECT_TRUE(first->Stats().ok());
 }
@@ -433,6 +457,7 @@ TEST_F(NetServerTest, ConnectionsPastTheCapAreRejectedWithACleanError) {
 TEST_F(NetServerTest, RequestsPastTheInFlightCapGetCleanOverloadErrors) {
   NetServerOptions options;
   options.max_in_flight_requests = 1;
+  options.metrics = &registry_;
   StartServer(options);
   auto client = Client();
   // A one-send burst large enough that the server drains several frames
@@ -455,7 +480,49 @@ TEST_F(NetServerTest, RequestsPastTheInFlightCapGetCleanOverloadErrors) {
   }
   EXPECT_TRUE(saw_rejection);
   EXPECT_GE(server_->counters().requests_rejected, 1u);
+  // The obs overload counter tracks the server's rejection count exactly.
+  EXPECT_EQ(registry_.GetCounter("net_shed_overload_total")->Value(),
+            server_->counters().requests_rejected);
   // An overload error never poisons the connection.
+  EXPECT_TRUE(client->Stats().ok());
+}
+
+TEST_F(NetServerTest, MetricsScrapeOverTheWireReflectsServedTraffic) {
+  NetServerOptions options;
+  options.metrics = &registry_;
+  StartServer(options);
+  auto client = Client();
+  ASSERT_TRUE(client->Stats().ok());
+  ASSERT_TRUE(client->GroupOf(0).ok());
+  auto scrape = client->Metrics();
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  // The text dump carries the server's RPC instruments; the served-request
+  // counter has seen at least the two queries above (the scrape itself is
+  // counted only after its reply is built).
+  EXPECT_NE(scrape->find("# TYPE net_requests_served_total counter"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("net_rpc_dispatch_seconds_count"),
+            std::string::npos);
+  EXPECT_GE(registry_.GetCounter("net_requests_served_total")->Value(), 3u);
+  // A garbage connection afterwards lands in the framing-fatal shed
+  // counter (it is not a frame-size rejection).
+  auto poisoned = Client();
+  ASSERT_TRUE(poisoned->SendBytes(std::string(64, '\xAB')).ok());
+  auto reply = poisoned->ReadReply();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->status.ok());
+  ExpectStillServing();
+  EXPECT_EQ(registry_.GetCounter("net_shed_framing_fatal_total")->Value(), 1u);
+  EXPECT_EQ(registry_.GetCounter("net_shed_frame_size_total")->Value(), 0u);
+}
+
+TEST_F(NetServerTest, MetricsScrapeWithoutARegistryIsACleanPerRequestError) {
+  StartServer();  // no options.metrics
+  auto client = Client();
+  auto scrape = client->Metrics();
+  EXPECT_FALSE(scrape.ok());
+  EXPECT_NE(scrape.status().message().find("not enabled"), std::string::npos);
+  // The error is per-request: the connection still serves.
   EXPECT_TRUE(client->Stats().ok());
 }
 

@@ -47,6 +47,14 @@ Rules (each finding is printed as `file:line: [rule] message`):
                    transitive closure of the including module's declared
                    dependencies is an undeclared (or upward) edge.
 
+  obs-inertness    The files that define serialized bytes
+                   (serve/checkpoint.*, serve/framing.*, net/wire.*) never
+                   reference the obs module: instrumentation is promised
+                   inert (docs/observability.md), and code that cannot
+                   name a MetricsRegistry cannot leak one into checkpoint
+                   or wire bytes. Phase timing for those paths belongs at
+                   call sites.
+
   raw-mutex        No bare std::mutex / std::condition_variable /
                    std::lock_guard / std::unique_lock in src/ outside
                    common/mutex.h: concurrent code uses the annotated
@@ -86,6 +94,7 @@ TMP_ALLOWLIST = {
 MODULE_DEPS = {
     "common": (),
     "exec": ("common",),
+    "obs": ("common",),
     "text": ("common",),
     "data": ("common",),
     "graph": ("common",),
@@ -94,14 +103,31 @@ MODULE_DEPS = {
     "datagen": ("data", "text"),
     "eval": ("data", "graph"),
     "matching": ("blocking", "data", "nn", "text"),
-    "core": ("blocking", "data", "exec", "graph", "matching"),
+    "core": ("blocking", "data", "exec", "graph", "matching", "obs"),
     "stream": ("blocking", "common", "core", "data", "exec", "graph",
-               "matching"),
+               "matching", "obs"),
     "shard": ("blocking", "common", "core", "data", "exec", "graph",
-              "matching", "stream"),
-    "serve": ("common", "core", "data", "matching", "shard", "stream"),
-    "net": ("common", "exec", "serve"),
+              "matching", "obs", "stream"),
+    "serve": ("common", "core", "data", "matching", "obs", "shard", "stream"),
+    "net": ("common", "exec", "obs", "serve"),
 }
+
+#: Files that define serialized bytes or the framing discipline and must
+#: stay observability-free: docs/observability.md promises instrumentation
+#: is inert (never in checkpoint or wire bytes), and the cheapest proof is
+#: that the code producing those bytes cannot even name the obs module.
+#: Timing for these paths lives at call sites (e.g. the sharded-checkpoint
+#: helpers, examples/serve_loop.cpp).
+OBS_FREE_FILES = {
+    "src/serve/checkpoint.h": "single-file checkpoint bytes",
+    "src/serve/checkpoint.cc": "single-file checkpoint bytes",
+    "src/serve/framing.h": "shared frame discipline (magic/version/checksum)",
+    "src/serve/framing.cc": "shared frame discipline (magic/version/checksum)",
+    "src/net/wire.h": "RPC frame encode/decode",
+    "src/net/wire.cc": "RPC frame encode/decode",
+}
+
+OBS_SYMBOL_RE = re.compile(r'#include\s+"obs/|\bobs::|\bMetricsRegistry\b')
 
 #: A test suite mentioning any of these exercises concurrency and must run
 #: under TSan (calibrated against the tree; see tsan-coverage above).
@@ -297,6 +323,23 @@ def check_module_dag(repo_root):
     return errors
 
 
+def check_obs_inertness(repo_root):
+    errors = []
+    for relpath, what in sorted(OBS_FREE_FILES.items()):
+        path = repo_root / relpath
+        if not path.is_file():
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if OBS_SYMBOL_RE.search(strip_comments(line)):
+                errors.append(
+                    f"{relpath}:{lineno}: [obs-inertness] obs reference in "
+                    f"{what} — serialization and framing code must not see "
+                    "the metrics layer (docs/observability.md); time these "
+                    "paths at their call sites")
+    return errors
+
+
 def check_raw_mutex(repo_root):
     errors = []
     for path in repo_files.source_files(repo_root):
@@ -320,6 +363,7 @@ ALL_RULES = (
     check_test_registration,
     check_ci_legs,
     check_module_dag,
+    check_obs_inertness,
     check_raw_mutex,
 )
 

@@ -88,6 +88,14 @@ class FixtureTreeTest(unittest.TestCase):
               "gralmatch_add_test(core_test gralmatch::core)\n"
               "gralmatch_add_test(exec_test gralmatch::exec)\n")
 
+        # obs-inertness: the checkpoint serializer naming the metrics layer
+        # (include on line 1, symbol use on line 3); a comment mention on
+        # line 2 that must NOT be flagged.
+        write(root, "src/serve/checkpoint.cc",
+              '#include "obs/metrics.h"\n'
+              "// a MetricsRegistry mention in prose is fine\n"
+              "void t(gralmatch::obs::MetricsRegistry* m) { (void)m; }\n")
+
         # module-dag: common including exec is an upward edge (line 1).
         write(root, "src/common/bad_dag.h",
               '#include "exec/thread_pool.h"\n')
@@ -149,6 +157,19 @@ class FixtureTreeTest(unittest.TestCase):
     def test_module_dag(self):
         self.assert_finding("src/common/bad_dag.h:1", "module-dag")
 
+    def test_obs_inertness_include(self):
+        self.assert_finding("src/serve/checkpoint.cc:1", "obs-inertness")
+
+    def test_obs_inertness_symbol(self):
+        self.assert_finding("src/serve/checkpoint.cc:3", "obs-inertness")
+
+    def test_obs_inertness_comment_exempt(self):
+        flagged = [f for f in self.findings
+                   if f.startswith("src/serve/checkpoint.cc:2:")]
+        self.assertEqual(flagged, [],
+                         "comment mentions of the metrics layer are prose, "
+                         "not a dependency")
+
     def test_raw_mutex(self):
         self.assert_finding("src/exec/bad_sync.h:2", "raw-mutex")
 
@@ -156,7 +177,8 @@ class FixtureTreeTest(unittest.TestCase):
         # Every fixture finding is one of the seeded ones: no rule
         # misfires on the clean fixture files.
         seeded = ("bad_bytes.cc", "bad_tmp.cc", "orphan_test.cc",
-                  "conc_test.cc", "ci.yml", "bad_dag.h", "bad_sync.h")
+                  "conc_test.cc", "ci.yml", "bad_dag.h", "bad_sync.h",
+                  "checkpoint.cc")
         for f in self.findings:
             self.assertTrue(any(s in f for s in seeded),
                             f"unexpected finding: {f}")
